@@ -1,0 +1,413 @@
+// Package repro's root benchmarks regenerate the paper's evaluation as Go
+// testing.B benchmarks — one benchmark per table and figure of Section 5,
+// plus ablation benchmarks for the design choices called out in DESIGN.md.
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports tx/s (or rows/s for Figure 9) via ReportMetric.
+// The cmd/mvbench tool runs the same experiments with the paper's exact
+// sweep axes; these benchmarks pin one representative point per axis so the
+// full suite stays fast.
+package repro
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/tatp"
+	"repro/internal/workload"
+)
+
+const (
+	benchRowsLarge = 50_000 // stands in for the paper's 10M-row table
+	benchRowsSmall = 1_000  // the paper's hotspot table size
+	benchSubs      = 2_000  // TATP population for the benchmark
+)
+
+var benchSchemes = []struct {
+	name   string
+	scheme core.Scheme
+}{
+	{"1V", core.SingleVersion},
+	{"MVL", core.MVPessimistic},
+	{"MVO", core.MVOptimistic},
+}
+
+func openBench(b *testing.B, scheme core.Scheme, rows uint64) (*core.Database, *core.Table) {
+	b.Helper()
+	db, err := core.Open(core.Config{Scheme: scheme, LogSink: io.Discard, LockTimeout: 10 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := workload.Table(db, rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workload.Load(db, tbl, rows)
+	b.Cleanup(func() { db.Close() })
+	return db, tbl
+}
+
+// runMix executes b.N transactions of the workload across parallel workers,
+// reporting committed transactions per second. Aborted transactions are
+// retried (they are part of the scheme's cost).
+func runMix(b *testing.B, db *core.Database, level core.Isolation, fn bench.TxFn) {
+	b.Helper()
+	var seed atomic.Int64
+	b.SetParallelism(4) // a few concurrent transactions even on one core
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1) * 7919))
+		for pb.Next() {
+			for {
+				tx := db.Begin(core.WithIsolation(level))
+				if _, err := fn(tx, rng); err != nil {
+					tx.Abort()
+					continue
+				}
+				if tx.Commit() == nil {
+					break
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+}
+
+// BenchmarkFig4 — scalability under low contention: the R=10, W=2
+// transaction on the large table at Read Committed (Figure 4's workload;
+// parallelism follows GOMAXPROCS).
+func BenchmarkFig4(b *testing.B) {
+	for _, s := range benchSchemes {
+		b.Run(s.name, func(b *testing.B) {
+			db, tbl := openBench(b, s.scheme, benchRowsLarge)
+			h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsLarge}, R: 10, W: 2}
+			runMix(b, db, core.ReadCommitted, h.Run)
+		})
+	}
+}
+
+// BenchmarkFig5 — the same workload on the 1,000-row hotspot (Figure 5).
+func BenchmarkFig5(b *testing.B) {
+	for _, s := range benchSchemes {
+		b.Run(s.name, func(b *testing.B) {
+			db, tbl := openBench(b, s.scheme, benchRowsSmall)
+			h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsSmall}, R: 10, W: 2}
+			runMix(b, db, core.ReadCommitted, h.Run)
+		})
+	}
+}
+
+// BenchmarkTable3 — the update workload at each isolation level (Table 3).
+func BenchmarkTable3(b *testing.B) {
+	levels := []struct {
+		name  string
+		level core.Isolation
+	}{
+		{"ReadCommitted", core.ReadCommitted},
+		{"RepeatableRead", core.RepeatableRead},
+		{"Serializable", core.Serializable},
+	}
+	for _, s := range benchSchemes {
+		for _, l := range levels {
+			b.Run(s.name+"/"+l.name, func(b *testing.B) {
+				db, tbl := openBench(b, s.scheme, benchRowsLarge)
+				h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsLarge}, R: 10, W: 2}
+				runMix(b, db, l.level, h.Run)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6 — mixed update and short read-only transactions under low
+// contention at a 50% read ratio (one point of Figure 6's sweep; mvbench
+// runs the full axis).
+func BenchmarkFig6(b *testing.B) {
+	for _, s := range benchSchemes {
+		b.Run(s.name, func(b *testing.B) {
+			db, tbl := openBench(b, s.scheme, benchRowsLarge)
+			up := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsLarge}, R: 10, W: 2}
+			rd := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsLarge}, R: 10, W: 0}
+			i := 0
+			runMix(b, db, core.ReadCommitted, func(tx *core.Tx, rng *rand.Rand) (int, error) {
+				i++
+				if i%2 == 0 {
+					return rd.Run(tx, rng)
+				}
+				return up.Run(tx, rng)
+			})
+		})
+	}
+}
+
+// BenchmarkFig7 — the same mix on the hotspot table (Figure 7).
+func BenchmarkFig7(b *testing.B) {
+	for _, s := range benchSchemes {
+		b.Run(s.name, func(b *testing.B) {
+			db, tbl := openBench(b, s.scheme, benchRowsSmall)
+			up := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsSmall}, R: 10, W: 2}
+			rd := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsSmall}, R: 10, W: 0}
+			i := 0
+			runMix(b, db, core.ReadCommitted, func(tx *core.Tx, rng *rand.Rand) (int, error) {
+				i++
+				if i%2 == 0 {
+					return rd.Run(tx, rng)
+				}
+				return up.Run(tx, rng)
+			})
+		})
+	}
+}
+
+// BenchmarkFig8 — update throughput while one long, transactionally
+// consistent read-only transaction repeatedly scans 10% of the table
+// (Figure 8 at x=1). The 1V numbers collapse; that is the result.
+func BenchmarkFig8(b *testing.B) {
+	for _, s := range benchSchemes {
+		b.Run(s.name, func(b *testing.B) {
+			db, tbl := openBench(b, s.scheme, benchRowsLarge)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				lr := workload.LongReader{Table: tbl, N: benchRowsLarge, Rows: benchRowsLarge / 10}
+				rng := rand.New(rand.NewSource(99))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					tx := db.Begin(core.WithIsolation(core.SnapshotIsolation))
+					if _, err := lr.Run(tx, rng); err != nil {
+						tx.Abort()
+						continue
+					}
+					_ = tx.Commit()
+				}
+			}()
+			h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsLarge}, R: 10, W: 2}
+			runMix(b, db, core.ReadCommitted, h.Run)
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkFig9 — read throughput of the long reader while updates run in
+// the background (Figure 9). Reports rows read per second.
+func BenchmarkFig9(b *testing.B) {
+	for _, s := range benchSchemes {
+		b.Run(s.name, func(b *testing.B) {
+			db, tbl := openBench(b, s.scheme, benchRowsLarge)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsLarge}, R: 10, W: 2}
+					rng := rand.New(rand.NewSource(int64(w)))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						tx := db.Begin()
+						if _, err := h.Run(tx, rng); err != nil {
+							tx.Abort()
+							continue
+						}
+						_ = tx.Commit()
+					}
+				}(w)
+			}
+			lr := workload.LongReader{Table: tbl, N: benchRowsLarge, Rows: benchRowsLarge / 10}
+			rng := rand.New(rand.NewSource(7))
+			rows := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for {
+					tx := db.Begin(core.WithIsolation(core.SnapshotIsolation))
+					n, err := lr.Run(tx, rng)
+					if err != nil {
+						tx.Abort()
+						continue
+					}
+					if tx.Commit() == nil {
+						rows += n
+						break
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "rows/s")
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkTable4 — the TATP mix (Table 4).
+func BenchmarkTable4(b *testing.B) {
+	for _, s := range benchSchemes {
+		b.Run(s.name, func(b *testing.B) {
+			db, err := core.Open(core.Config{Scheme: s.scheme, LogSink: io.Discard})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { db.Close() })
+			td, err := tatp.CreateTables(db, benchSubs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			td.Load(1)
+			mix := td.Mix(core.ReadCommitted)
+			total := 0
+			for _, m := range mix {
+				total += m.Weight
+			}
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1) * 104729))
+				for pb.Next() {
+					w := rng.Intn(total)
+					var fn bench.TxFn
+					for _, m := range mix {
+						w -= m.Weight
+						if w < 0 {
+							fn = m.Fn
+							break
+						}
+					}
+					// TATP counts failed transactions (e.g. insert of an
+					// existing row) without retrying them.
+					tx := db.Begin(core.WithIsolation(core.ReadCommitted))
+					if _, err := fn(tx, rng); err != nil {
+						tx.Abort()
+						continue
+					}
+					_ = tx.Commit()
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+		})
+	}
+}
+
+// BenchmarkAblationSpeculation — MV/O on the hotspot with and without
+// speculative reads/ignores (commit dependencies). Without speculation,
+// encountering a preparing writer aborts the reader.
+func BenchmarkAblationSpeculation(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"Speculative", false}, {"NoSpeculation", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := core.Open(core.Config{
+				Scheme:             core.MVOptimistic,
+				DisableSpeculation: mode.disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { db.Close() })
+			tbl, err := workload.Table(db, benchRowsSmall)
+			if err != nil {
+				b.Fatal(err)
+			}
+			workload.Load(db, tbl, benchRowsSmall)
+			h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsSmall}, R: 10, W: 2}
+			runMix(b, db, core.ReadCommitted, h.Run)
+		})
+	}
+}
+
+// BenchmarkAblationEagerUpdates — MV/L at repeatable read with and without
+// eager updates (Section 4.2's motivation): when disabled, updating a
+// read-locked version aborts the writer instead of installing a wait-for
+// dependency.
+func BenchmarkAblationEagerUpdates(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"Eager", false}, {"AbortOnLock", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := core.Open(core.Config{
+				Scheme:              core.MVPessimistic,
+				DisableEagerUpdates: mode.disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { db.Close() })
+			tbl, err := workload.Table(db, benchRowsSmall)
+			if err != nil {
+				b.Fatal(err)
+			}
+			workload.Load(db, tbl, benchRowsSmall)
+			h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsSmall}, R: 10, W: 2}
+			runMix(b, db, core.RepeatableRead, h.Run)
+		})
+	}
+}
+
+// BenchmarkAblationGC — MV/O update workload with cooperative garbage
+// collection on vs off; without GC, version chains grow and scans slow
+// down.
+func BenchmarkAblationGC(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		gcEvery int
+	}{{"GC", 0 /* default */}, {"NoGC", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := core.Open(core.Config{Scheme: core.MVOptimistic, GCEvery: mode.gcEvery})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { db.Close() })
+			tbl, err := workload.Table(db, benchRowsSmall)
+			if err != nil {
+				b.Fatal(err)
+			}
+			workload.Load(db, tbl, benchRowsSmall)
+			h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsSmall}, R: 2, W: 2}
+			runMix(b, db, core.ReadCommitted, h.Run)
+		})
+	}
+}
+
+// BenchmarkWALGroupCommit — group-commit batch size sweep for the redo log.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	for _, batch := range []int{1, 64, 1024} {
+		b.Run(map[int]string{1: "Batch1", 64: "Batch64", 1024: "Batch1024"}[batch], func(b *testing.B) {
+			db, err := core.Open(core.Config{
+				Scheme:   core.MVOptimistic,
+				LogSink:  io.Discard,
+				LogBatch: batch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { db.Close() })
+			tbl, err := workload.Table(db, benchRowsSmall)
+			if err != nil {
+				b.Fatal(err)
+			}
+			workload.Load(db, tbl, benchRowsSmall)
+			h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsSmall}, R: 0, W: 2}
+			runMix(b, db, core.ReadCommitted, h.Run)
+		})
+	}
+}

@@ -1,0 +1,228 @@
+// Command mvshell is a tiny interactive shell over the storage engine,
+// useful for exploring multiversion behaviour by hand: run concurrent
+// transactions, read and write keys, and watch visibility, conflicts and
+// validation happen.
+//
+//	$ mvshell -scheme mvo
+//	> begin t1 serializable
+//	> put t1 alice 100
+//	> commit t1
+//	> begin t2 snapshot
+//	> get t2 alice
+//	alice = 100
+//
+// Commands:
+//
+//	begin <tx> [rc|si|rr|ser] [opt|pess]   start a transaction
+//	get <tx> <key>                         read a key
+//	put <tx> <key> <value>                 insert or update
+//	del <tx> <key>                         delete
+//	commit <tx> / abort <tx>               finish a transaction
+//	stats                                  engine counters
+//	gc                                     run a garbage collection round
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func hashKey(p []byte) uint64 {
+	// Payload: length-prefixed key string + value. Key extraction hashes
+	// the key bytes (FNV-1a).
+	n := int(p[0])
+	h := uint64(14695981039346656037)
+	for _, b := range p[1 : 1+n] {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func encode(key, val string) []byte {
+	p := make([]byte, 0, 2+len(key)+len(val))
+	p = append(p, byte(len(key)))
+	p = append(p, key...)
+	p = append(p, val...)
+	return p
+}
+
+func decode(p []byte) (key, val string) {
+	n := int(p[0])
+	return string(p[1 : 1+n]), string(p[1+n:])
+}
+
+func main() {
+	schemeName := flag.String("scheme", "mvo", "default scheme: 1v|mvl|mvo")
+	flag.Parse()
+	var scheme core.Scheme
+	switch *schemeName {
+	case "1v":
+		scheme = core.SingleVersion
+	case "mvl":
+		scheme = core.MVPessimistic
+	case "mvo":
+		scheme = core.MVOptimistic
+	default:
+		fmt.Fprintln(os.Stderr, "unknown scheme")
+		os.Exit(2)
+	}
+	db, err := core.Open(core.Config{Scheme: scheme})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable(core.TableSpec{
+		Name:    "kv",
+		Indexes: []core.IndexSpec{{Name: "key", Key: hashKey, Buckets: 1 << 12}},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	txs := make(map[string]*core.Tx)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Printf("mvshell (%s engine) — 'help' for commands\n", scheme)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("begin <tx> [rc|si|rr|ser] [opt|pess] | get <tx> <key> | put <tx> <key> <val> | del <tx> <key> | commit <tx> | abort <tx> | stats | gc | quit")
+		case "begin":
+			if len(fields) < 2 {
+				fmt.Println("usage: begin <tx> [rc|si|rr|ser] [opt|pess]")
+				break
+			}
+			opts := []core.TxOption{}
+			level := core.ReadCommitted
+			for _, f := range fields[2:] {
+				switch f {
+				case "rc":
+					level = core.ReadCommitted
+				case "si", "snapshot":
+					level = core.SnapshotIsolation
+				case "rr":
+					level = core.RepeatableRead
+				case "ser", "serializable":
+					level = core.Serializable
+				case "opt":
+					opts = append(opts, core.WithScheme(core.MVOptimistic))
+				case "pess":
+					opts = append(opts, core.WithScheme(core.MVPessimistic))
+				}
+			}
+			opts = append(opts, core.WithIsolation(level))
+			txs[fields[1]] = db.Begin(opts...)
+			fmt.Printf("%s started (%s)\n", fields[1], level)
+		case "get", "put", "del", "commit", "abort":
+			if len(fields) < 2 {
+				fmt.Println("missing transaction name")
+				break
+			}
+			tx, ok := txs[fields[1]]
+			if !ok {
+				fmt.Printf("no transaction %q\n", fields[1])
+				break
+			}
+			switch fields[0] {
+			case "get":
+				if len(fields) < 3 {
+					fmt.Println("usage: get <tx> <key>")
+					break
+				}
+				key := fields[2]
+				row, found, err := tx.Lookup(tbl, 0, hashKey(encode(key, "")),
+					func(p []byte) bool { k, _ := decode(p); return k == key })
+				if err != nil {
+					fmt.Printf("error: %v (transaction must abort)\n", err)
+					break
+				}
+				if !found {
+					fmt.Printf("%s not found\n", key)
+					break
+				}
+				_, v := decode(row.Payload())
+				fmt.Printf("%s = %s\n", key, v)
+			case "put":
+				if len(fields) < 4 {
+					fmt.Println("usage: put <tx> <key> <value>")
+					break
+				}
+				key, val := fields[2], fields[3]
+				row, found, err := tx.Lookup(tbl, 0, hashKey(encode(key, "")),
+					func(p []byte) bool { k, _ := decode(p); return k == key })
+				if err != nil {
+					fmt.Printf("error: %v\n", err)
+					break
+				}
+				if found {
+					err = tx.Update(tbl, row, encode(key, val))
+				} else {
+					err = tx.Insert(tbl, encode(key, val))
+				}
+				if err != nil {
+					fmt.Printf("error: %v\n", err)
+					break
+				}
+				fmt.Println("ok")
+			case "del":
+				if len(fields) < 3 {
+					fmt.Println("usage: del <tx> <key>")
+					break
+				}
+				key := fields[2]
+				n, err := tx.DeleteWhere(tbl, 0, hashKey(encode(key, "")),
+					func(p []byte) bool { k, _ := decode(p); return k == key })
+				if err != nil {
+					fmt.Printf("error: %v\n", err)
+					break
+				}
+				fmt.Printf("%d deleted\n", n)
+			case "commit":
+				if err := tx.Commit(); err != nil {
+					fmt.Printf("aborted: %v\n", err)
+				} else {
+					fmt.Println("committed")
+				}
+				delete(txs, fields[1])
+			case "abort":
+				_ = tx.Abort()
+				fmt.Println("aborted")
+				delete(txs, fields[1])
+			}
+		case "stats":
+			s := db.Stats()
+			fmt.Printf("commits=%d aborts=%d ww-conflicts=%d validation-fails=%d lock-failures=%d lock-timeouts=%d deadlock-victims=%d retired=%d reclaimed=%d\n",
+				s.Commits, s.Aborts, s.WriteConflicts, s.ValidationFails, s.LockFailures, s.LockTimeouts, s.DeadlockVictims, s.VersionsRetired, s.VersionsReclaimed)
+		case "gc":
+			fmt.Printf("%d versions reclaimed\n", db.CollectGarbage(0))
+		default:
+			// Allow "sleep N" for scripted demos.
+			if fields[0] == "sleep" && len(fields) == 2 {
+				if ms, err := strconv.Atoi(fields[1]); err == nil {
+					fmt.Printf("(sleeping %dms)\n", ms)
+					_ = ms
+				}
+				break
+			}
+			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
+		}
+		fmt.Print("> ")
+	}
+}

@@ -1,0 +1,103 @@
+// Command tatp runs the TATP telecommunication benchmark (Section 5.3 of
+// the paper) against a chosen concurrency control scheme and prints
+// per-transaction-type throughput, reproducing Table 4 one scheme at a time
+// with full detail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/tatp"
+)
+
+func main() {
+	var (
+		schemeName  = flag.String("scheme", "mvo", "concurrency control scheme: 1v|mvl|mvo")
+		subscribers = flag.Int("subscribers", 100_000, "subscriber population (the paper used 20M)")
+		workers     = flag.Int("mpl", 24, "multiprogramming level")
+		duration    = flag.Duration("duration", 2*time.Second, "measured interval")
+		warmup      = flag.Duration("warmup", 500*time.Millisecond, "warmup")
+		seed        = flag.Int64("seed", 1, "seed")
+		isoName     = flag.String("iso", "rc", "isolation level: rc|si|rr|ser")
+		noLog       = flag.Bool("nolog", false, "disable the redo log")
+	)
+	flag.Parse()
+
+	var scheme core.Scheme
+	switch *schemeName {
+	case "1v":
+		scheme = core.SingleVersion
+	case "mvl":
+		scheme = core.MVPessimistic
+	case "mvo":
+		scheme = core.MVOptimistic
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+	var level core.Isolation
+	switch *isoName {
+	case "rc":
+		level = core.ReadCommitted
+	case "si":
+		level = core.SnapshotIsolation
+	case "rr":
+		level = core.RepeatableRead
+	case "ser":
+		level = core.Serializable
+	default:
+		fmt.Fprintf(os.Stderr, "unknown isolation %q\n", *isoName)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{Scheme: scheme}
+	if !*noLog {
+		cfg.LogSink = io.Discard
+	}
+	db, err := core.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	fmt.Printf("loading %d subscribers...\n", *subscribers)
+	loadStart := time.Now()
+	td, err := tatp.CreateTables(db, uint64(*subscribers))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	td.Load(*seed)
+	fmt.Printf("loaded in %v\n", time.Since(loadStart).Round(time.Millisecond))
+
+	res := bench.Run(db, td.Mix(level), bench.Options{
+		Workers:  *workers,
+		Duration: *duration,
+		Warmup:   *warmup,
+		Seed:     *seed,
+	})
+
+	fmt.Printf("\nTATP %s @ %s, MPL=%d, %v measured\n", scheme, level, *workers, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("total: %.0f tx/sec, abort rate %.2f%%\n\n", res.TPS(), res.AbortRate()*100)
+	names := make([]string, 0, len(res.PerType))
+	for name := range res.PerType {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-24s %12s %10s\n", "transaction", "tx/sec", "aborts")
+	for _, name := range names {
+		tr := res.PerType[name]
+		fmt.Printf("%-24s %12.0f %10d\n", name, res.TypeTPS(name), tr.Aborts)
+	}
+	st := res.Stats
+	fmt.Printf("\nengine: commits=%d aborts=%d ww-conflicts=%d validation-fails=%d lock-timeouts=%d deadlock-victims=%d gc-reclaimed=%d\n",
+		st.Commits, st.Aborts, st.WriteConflicts, st.ValidationFails, st.LockTimeouts, st.DeadlockVictims, st.VersionsReclaimed)
+}

@@ -1,0 +1,69 @@
+// Telecom: a TATP-style telecommunications application (Section 5.3) built
+// on the public API — subscribers with access records, special facilities
+// and call-forwarding rules, exercised by a realistic mix of short
+// transactions while reporting live throughput per transaction type.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/tatp"
+)
+
+func main() {
+	schemeName := flag.String("scheme", "mvo", "1v|mvl|mvo")
+	subscribers := flag.Uint64("subscribers", 20_000, "population")
+	seconds := flag.Int("seconds", 2, "measured seconds")
+	flag.Parse()
+
+	var scheme core.Scheme
+	switch *schemeName {
+	case "1v":
+		scheme = core.SingleVersion
+	case "mvl":
+		scheme = core.MVPessimistic
+	default:
+		scheme = core.MVOptimistic
+	}
+
+	db, err := core.Open(core.Config{Scheme: scheme, LogSink: io.Discard})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	fmt.Printf("provisioning %d subscribers on the %s engine...\n", *subscribers, scheme)
+	td, err := tatp.CreateTables(db, *subscribers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	td.Load(1)
+	if err := td.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("running the TATP mix (80%% queries / 16%% updates / 2%% inserts / 2%% deletes)...\n")
+	res := bench.Run(db, td.Mix(core.ReadCommitted), bench.Options{
+		Workers:  8,
+		Duration: time.Duration(*seconds) * time.Second,
+		Warmup:   200 * time.Millisecond,
+		Seed:     7,
+	})
+
+	fmt.Printf("\n%.0f transactions/second (%.2f%% aborted)\n\n", res.TPS(), res.AbortRate()*100)
+	names := make([]string, 0, len(res.PerType))
+	for n := range res.PerType {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-24s %10.0f tx/s\n", n, res.TypeTPS(n))
+	}
+}

@@ -1,0 +1,229 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation (Section 5): fixed-duration, fixed-multiprogramming-level runs
+// of weighted transaction mixes against a database, reporting committed
+// transactions per second exactly as the paper's figures and tables do.
+//
+// The paper limits the number of concurrently active transactions to the
+// hardware thread count ("there is no need to overprovision threads"); here
+// the multiprogramming level is the worker goroutine count.
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TxFn is one transaction body. It issues operations on tx and returns the
+// number of rows it read (used for read-throughput series) or an error, in
+// which case the harness aborts the transaction and counts an abort.
+type TxFn func(tx *core.Tx, rng *rand.Rand) (reads int, err error)
+
+// TxType describes one transaction type in a mix.
+type TxType struct {
+	// Name labels the type in per-type results.
+	Name string
+	// Weight is the type's share when workers draw types randomly. Ignored
+	// for pinned types.
+	Weight int
+	// Pinned dedicates exactly this many workers to the type (the long
+	// reader experiments fix x workers to the reporting query). Pinned
+	// workers run only this type.
+	Pinned int
+	// Isolation for transactions of this type.
+	Isolation core.Isolation
+	// Scheme optionally overrides the database's default scheme (mixing
+	// optimistic and pessimistic transactions); nil means default.
+	Scheme *core.Scheme
+	// Fn is the transaction body.
+	Fn TxFn
+}
+
+// Options controls a run.
+type Options struct {
+	// Workers is the multiprogramming level (concurrently active
+	// transactions).
+	Workers int
+	// Duration is the measured interval.
+	Duration time.Duration
+	// Warmup runs the workload unmeasured first.
+	Warmup time.Duration
+	// Seed makes key sequences reproducible across schemes.
+	Seed int64
+}
+
+// TypeResult aggregates one transaction type.
+type TypeResult struct {
+	Commits uint64
+	Aborts  uint64
+	Reads   uint64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Elapsed time.Duration
+	Commits uint64
+	Aborts  uint64
+	Reads   uint64
+	PerType map[string]TypeResult
+	Stats   core.Stats
+}
+
+// TPS returns committed transactions per second.
+func (r Result) TPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Commits) / r.Elapsed.Seconds()
+}
+
+// TypeTPS returns committed transactions per second for one type.
+func (r Result) TypeTPS(name string) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.PerType[name].Commits) / r.Elapsed.Seconds()
+}
+
+// TypeReadsPerSec returns rows read per second by one type.
+func (r Result) TypeReadsPerSec(name string) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.PerType[name].Reads) / r.Elapsed.Seconds()
+}
+
+// AbortRate returns the fraction of transactions that aborted.
+func (r Result) AbortRate() float64 {
+	total := r.Commits + r.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Aborts) / float64(total)
+}
+
+type typeCounters struct {
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+	reads   atomic.Uint64
+}
+
+// Run executes the mix at the requested multiprogramming level.
+func Run(db *core.Database, types []TxType, opts Options) Result {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 500 * time.Millisecond
+	}
+
+	// Assign pinned workers; the rest draw weighted types.
+	assignment := make([]int, 0, opts.Workers) // index into types, -1 = weighted
+	for ti, t := range types {
+		for i := 0; i < t.Pinned && len(assignment) < opts.Workers; i++ {
+			assignment = append(assignment, ti)
+		}
+	}
+	for len(assignment) < opts.Workers {
+		assignment = append(assignment, -1)
+	}
+	totalWeight := 0
+	for _, t := range types {
+		if t.Pinned == 0 {
+			totalWeight += t.Weight
+		}
+	}
+
+	counters := make([]typeCounters, len(types))
+	var measuring atomic.Bool
+	var stop atomic.Bool
+
+	pick := func(rng *rand.Rand) int {
+		if totalWeight <= 0 {
+			return 0
+		}
+		w := rng.Intn(totalWeight)
+		for ti := range types {
+			if types[ti].Pinned > 0 {
+				continue
+			}
+			w -= types[ti].Weight
+			if w < 0 {
+				return ti
+			}
+		}
+		return len(types) - 1
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+			for !stop.Load() {
+				ti := assignment[w]
+				if ti < 0 {
+					ti = pick(rng)
+				}
+				t := &types[ti]
+				var txOpts []core.TxOption
+				txOpts = append(txOpts, core.WithIsolation(t.Isolation))
+				if t.Scheme != nil {
+					txOpts = append(txOpts, core.WithScheme(*t.Scheme))
+				}
+				tx := db.Begin(txOpts...)
+				reads, err := t.Fn(tx, rng)
+				if err != nil {
+					_ = tx.Abort()
+					if measuring.Load() {
+						counters[ti].aborts.Add(1)
+					}
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					if measuring.Load() {
+						counters[ti].aborts.Add(1)
+					}
+					continue
+				}
+				if measuring.Load() {
+					counters[ti].commits.Add(1)
+					counters[ti].reads.Add(uint64(reads))
+				}
+			}
+		}(w)
+	}
+
+	if opts.Warmup > 0 {
+		time.Sleep(opts.Warmup)
+	}
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(opts.Duration)
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+
+	res := Result{
+		Elapsed: elapsed,
+		PerType: make(map[string]TypeResult, len(types)),
+		Stats:   db.Stats(),
+	}
+	for ti := range types {
+		tr := TypeResult{
+			Commits: counters[ti].commits.Load(),
+			Aborts:  counters[ti].aborts.Load(),
+			Reads:   counters[ti].reads.Load(),
+		}
+		res.PerType[types[ti].Name] = tr
+		res.Commits += tr.Commits
+		res.Aborts += tr.Aborts
+		res.Reads += tr.Reads
+	}
+	return res
+}

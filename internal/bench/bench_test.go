@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func pay(key, val uint64) []byte {
+	p := make([]byte, 16)
+	binary.LittleEndian.PutUint64(p, key)
+	binary.LittleEndian.PutUint64(p[8:], val)
+	return p
+}
+
+func keyOf(p []byte) uint64 { return binary.LittleEndian.Uint64(p) }
+
+func testDB(t *testing.T, scheme core.Scheme, rows uint64) (*core.Database, *core.Table) {
+	t.Helper()
+	db, err := core.Open(core.Config{Scheme: scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable(core.TableSpec{
+		Name:    "t",
+		Indexes: []core.IndexSpec{{Name: "pk", Key: keyOf, Buckets: int(rows)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < rows; k++ {
+		db.LoadRow(tbl, pay(k, 0))
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, tbl
+}
+
+func readTx(tbl *core.Table, rows uint64) TxFn {
+	return func(tx *core.Tx, rng *rand.Rand) (int, error) {
+		n := 0
+		for i := 0; i < 5; i++ {
+			k := rng.Uint64() % rows
+			if err := tx.Scan(tbl, 0, k, nil, func(core.Row) bool { n++; return false }); err != nil {
+				return n, err
+			}
+		}
+		return n, nil
+	}
+}
+
+func writeTx(tbl *core.Table, rows uint64) TxFn {
+	return func(tx *core.Tx, rng *rand.Rand) (int, error) {
+		k := rng.Uint64() % rows
+		_, err := tx.UpdateWhere(tbl, 0, k, nil, func(old []byte) []byte {
+			return pay(k, rng.Uint64())
+		})
+		return 0, err
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.SingleVersion, core.MVPessimistic, core.MVOptimistic} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			db, tbl := testDB(t, scheme, 1000)
+			res := Run(db, []TxType{
+				{Name: "read", Weight: 3, Isolation: core.ReadCommitted, Fn: readTx(tbl, 1000)},
+				{Name: "write", Weight: 1, Isolation: core.ReadCommitted, Fn: writeTx(tbl, 1000)},
+			}, Options{Workers: 4, Duration: 80 * time.Millisecond, Seed: 1})
+			if res.Commits == 0 {
+				t.Fatal("no commits")
+			}
+			if res.TPS() <= 0 {
+				t.Fatal("TPS not positive")
+			}
+			if res.PerType["read"].Commits == 0 || res.PerType["write"].Commits == 0 {
+				t.Fatalf("per-type commits: %+v", res.PerType)
+			}
+			if res.PerType["read"].Reads == 0 {
+				t.Fatal("read counts not collected")
+			}
+			// Weighted mix: reads should dominate ~3:1.
+			r := float64(res.PerType["read"].Commits)
+			w := float64(res.PerType["write"].Commits)
+			if r < w {
+				t.Fatalf("weights ignored: reads=%v writes=%v", r, w)
+			}
+		})
+	}
+}
+
+func TestPinnedWorkers(t *testing.T) {
+	db, tbl := testDB(t, core.MVOptimistic, 1000)
+	var longRuns atomic.Int64
+	long := func(tx *core.Tx, rng *rand.Rand) (int, error) {
+		longRuns.Add(1)
+		time.Sleep(time.Millisecond)
+		return 0, nil
+	}
+	res := Run(db, []TxType{
+		{Name: "long", Pinned: 2, Isolation: core.SnapshotIsolation, Fn: long},
+		{Name: "write", Weight: 1, Isolation: core.ReadCommitted, Fn: writeTx(tbl, 1000)},
+	}, Options{Workers: 4, Duration: 200 * time.Millisecond, Seed: 1})
+	if longRuns.Load() == 0 {
+		t.Fatal("pinned type never ran")
+	}
+	if res.PerType["write"].Commits == 0 {
+		t.Fatal("weighted type never ran")
+	}
+}
+
+func TestAbortsCounted(t *testing.T) {
+	db, tbl := testDB(t, core.MVOptimistic, 1)
+	// All workers hammer one row: write-write conflicts guaranteed.
+	res := Run(db, []TxType{
+		{Name: "w", Weight: 1, Isolation: core.ReadCommitted, Fn: writeTx(tbl, 1)},
+	}, Options{Workers: 8, Duration: 80 * time.Millisecond, Seed: 1})
+	if res.Aborts == 0 {
+		t.Fatal("expected write-write aborts on single-row hotspot")
+	}
+	if res.AbortRate() <= 0 || res.AbortRate() >= 1 {
+		t.Fatalf("abort rate %v", res.AbortRate())
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{
+		Elapsed: time.Second,
+		Commits: 100,
+		Aborts:  25,
+		PerType: map[string]TypeResult{
+			"a": {Commits: 60, Reads: 600},
+			"b": {Commits: 40},
+		},
+	}
+	if r.TPS() != 100 {
+		t.Fatalf("TPS = %v", r.TPS())
+	}
+	if r.TypeTPS("a") != 60 {
+		t.Fatalf("TypeTPS = %v", r.TypeTPS("a"))
+	}
+	if r.TypeReadsPerSec("a") != 600 {
+		t.Fatalf("TypeReadsPerSec = %v", r.TypeReadsPerSec("a"))
+	}
+	if r.AbortRate() != 0.2 {
+		t.Fatalf("AbortRate = %v", r.AbortRate())
+	}
+	var zero Result
+	if zero.TPS() != 0 || zero.AbortRate() != 0 || zero.TypeTPS("x") != 0 {
+		t.Fatal("zero-value helpers not safe")
+	}
+}

@@ -1,0 +1,97 @@
+package check
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestValidHistory(t *testing.T) {
+	initial := map[uint64]uint64{1: 10, 2: 20}
+	txns := []Txn{
+		{EndTS: 100,
+			Reads:  []Read{{Table: "t", Key: 1, Value: 10, Found: true}},
+			Writes: []Write{{Table: "t", Key: 1, Value: 11}}},
+		{EndTS: 200,
+			Reads:  []Read{{Table: "t", Key: 1, Value: 11, Found: true}, {Table: "t", Key: 2, Value: 20, Found: true}},
+			Writes: []Write{{Table: "t", Op: WriteDelete, Key: 2}}},
+		{EndTS: 300,
+			Reads: []Read{{Table: "t", Key: 2, Found: false}}},
+	}
+	if err := Validate(initial, "t", txns); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleReadDetected(t *testing.T) {
+	initial := map[uint64]uint64{1: 10}
+	txns := []Txn{
+		{EndTS: 100, Writes: []Write{{Table: "t", Key: 1, Value: 11}}},
+		// This transaction serializes after the write but read the old value.
+		{EndTS: 200, Reads: []Read{{Table: "t", Key: 1, Value: 10, Found: true}}},
+	}
+	err := Validate(initial, "t", txns)
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v, want Violation", err)
+	}
+	if v.EndTS != 200 || v.GotValue != 11 {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestGhostReadDetected(t *testing.T) {
+	txns := []Txn{
+		{EndTS: 100, Reads: []Read{{Table: "t", Key: 5, Value: 50, Found: true}}},
+	}
+	if err := Validate(nil, "t", txns); err == nil {
+		t.Fatal("read of non-existent key accepted")
+	}
+}
+
+func TestMissedInsertDetected(t *testing.T) {
+	txns := []Txn{
+		{EndTS: 100, Writes: []Write{{Table: "t", Key: 5, Value: 50}}},
+		{EndTS: 200, Reads: []Read{{Table: "t", Key: 5, Found: false}}},
+	}
+	if err := Validate(nil, "t", txns); err == nil {
+		t.Fatal("missed insert accepted")
+	}
+}
+
+func TestDuplicateEndTimestampsRejected(t *testing.T) {
+	txns := []Txn{{EndTS: 100}, {EndTS: 100}}
+	if err := Validate(nil, "t", txns); err == nil {
+		t.Fatal("duplicate end timestamps accepted")
+	}
+}
+
+func TestOutOfOrderInputSorted(t *testing.T) {
+	initial := map[uint64]uint64{1: 10}
+	// Presented in reverse commit order; Validate must sort.
+	txns := []Txn{
+		{EndTS: 200, Reads: []Read{{Table: "t", Key: 1, Value: 11, Found: true}}},
+		{EndTS: 100, Writes: []Write{{Table: "t", Key: 1, Value: 11}}},
+	}
+	if err := Validate(initial, "t", txns); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 100; i++ {
+				r.Record(Txn{EndTS: uint64(w*1000 + i)})
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if len(r.Txns()) != 400 {
+		t.Fatalf("recorded %d", len(r.Txns()))
+	}
+}

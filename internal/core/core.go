@@ -1,0 +1,390 @@
+// Package core is the public API of the storage engine library: a uniform
+// Database/Tx interface over the three concurrency control mechanisms the
+// paper evaluates — single-version locking (1V), multiversion pessimistic
+// locking (MV/L) and multiversion optimistic validation (MV/O).
+//
+// A Database is created with a default scheme; with a multiversion database,
+// individual transactions may override the scheme, because optimistic and
+// pessimistic transactions coexist on one engine (Section 4.5). All four
+// isolation levels of Section 2 are available (the single-version engine
+// upgrades snapshot isolation to repeatable read).
+//
+//	db, _ := core.Open(core.Config{Scheme: core.MVOptimistic})
+//	defer db.Close()
+//	accounts, _ := db.CreateTable(core.TableSpec{
+//		Name: "accounts",
+//		Indexes: []core.IndexSpec{{Name: "id", Key: keyFn, Buckets: 1 << 16}},
+//	})
+//	tx := db.Begin(core.WithIsolation(core.Serializable))
+//	...
+//	if err := tx.Commit(); err != nil { /* aborted; maybe retry */ }
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/iso"
+	"repro/internal/mv"
+	"repro/internal/storage"
+	"repro/internal/sv"
+	"repro/internal/wal"
+)
+
+// Scheme selects a concurrency control mechanism.
+type Scheme int
+
+const (
+	// MVOptimistic is the multiversion optimistic scheme (MV/O, Section 3).
+	MVOptimistic Scheme = iota
+	// MVPessimistic is the multiversion locking scheme (MV/L, Section 4).
+	MVPessimistic
+	// SingleVersion is main-memory optimized single-version locking (1V,
+	// Section 5).
+	SingleVersion
+)
+
+// String returns the scheme label used in the paper's charts.
+func (s Scheme) String() string {
+	switch s {
+	case MVOptimistic:
+		return "MV/O"
+	case MVPessimistic:
+		return "MV/L"
+	case SingleVersion:
+		return "1V"
+	default:
+		return "Unknown"
+	}
+}
+
+// Isolation levels, re-exported from package iso.
+type Isolation = iso.Level
+
+const (
+	ReadCommitted     = iso.ReadCommitted
+	SnapshotIsolation = iso.SnapshotIsolation
+	RepeatableRead    = iso.RepeatableRead
+	Serializable      = iso.Serializable
+)
+
+// IndexSpec describes one hash index.
+type IndexSpec = storage.IndexSpec
+
+// TableSpec describes a table and its indexes.
+type TableSpec = storage.TableSpec
+
+// Pred is a residual scan predicate; nil matches everything.
+type Pred func(payload []byte) bool
+
+// Config controls database construction.
+type Config struct {
+	// Scheme is the default concurrency control scheme for transactions.
+	Scheme Scheme
+	// LogSink, when non-nil, enables redo logging to the writer with
+	// asynchronous group commit (the paper's experimental configuration).
+	LogSink io.Writer
+	// SyncCommit makes commits wait for their log batch to be flushed.
+	SyncCommit bool
+	// LogBatch is the group-commit batch size (default 256).
+	LogBatch int
+	// LockTimeout bounds 1V lock waits (deadlock breaking); default 25ms.
+	LockTimeout time.Duration
+	// DeadlockInterval is the MV/L wait-for deadlock detection period;
+	// 0 = default (2ms), negative disables the background detector.
+	DeadlockInterval time.Duration
+	// GCEvery runs cooperative MV garbage collection every N transactions
+	// (default 64); negative disables it.
+	GCEvery int
+	// DisableSpeculation turns off speculative reads/ignores (ablation).
+	DisableSpeculation bool
+	// DisableEagerUpdates turns off MV/L eager updates (ablation).
+	DisableEagerUpdates bool
+}
+
+// Database is a main-memory database instance backed by one engine.
+type Database struct {
+	cfg   Config
+	log   *wal.Log
+	mvEng *mv.Engine
+	svEng *sv.Engine
+}
+
+// Table is a handle to a table of whichever engine backs the database.
+type Table struct {
+	name string
+	mvT  *storage.Table
+	svT  *sv.Table
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Open creates a database.
+func Open(cfg Config) (*Database, error) {
+	db := &Database{cfg: cfg}
+	if cfg.LogSink != nil {
+		db.log = wal.Open(wal.Config{
+			Sink:        cfg.LogSink,
+			Synchronous: cfg.SyncCommit,
+			BatchSize:   cfg.LogBatch,
+		})
+	}
+	switch cfg.Scheme {
+	case SingleVersion:
+		db.svEng = sv.NewEngine(sv.Config{Log: db.log, LockTimeout: cfg.LockTimeout})
+	case MVOptimistic, MVPessimistic:
+		db.mvEng = mv.NewEngine(mv.Config{
+			Log:                 db.log,
+			DeadlockInterval:    cfg.DeadlockInterval,
+			GCEvery:             cfg.GCEvery,
+			DisableSpeculation:  cfg.DisableSpeculation,
+			DisableEagerUpdates: cfg.DisableEagerUpdates,
+		})
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %d", cfg.Scheme)
+	}
+	return db, nil
+}
+
+// Close stops background workers and closes the log.
+func (db *Database) Close() error {
+	if db.mvEng != nil {
+		return db.mvEng.Close()
+	}
+	return db.svEng.Close()
+}
+
+// CreateTable registers a table.
+func (db *Database) CreateTable(spec TableSpec) (*Table, error) {
+	t := &Table{name: spec.Name}
+	var err error
+	if db.mvEng != nil {
+		t.mvT, err = db.mvEng.CreateTable(spec)
+	} else {
+		t.svT, err = db.svEng.CreateTable(spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// LoadRow bulk-loads a committed row outside any transaction. Not safe for
+// concurrent use; intended for initial population.
+func (db *Database) LoadRow(t *Table, payload []byte) {
+	if db.mvEng != nil {
+		db.mvEng.LoadRow(t.mvT, payload)
+	} else {
+		db.svEng.LoadRow(t.svT, payload)
+	}
+}
+
+// MV exposes the underlying multiversion engine (nil for 1V databases); used
+// by tests and diagnostics.
+func (db *Database) MV() *mv.Engine { return db.mvEng }
+
+// SV exposes the underlying single-version engine (nil for MV databases).
+func (db *Database) SV() *sv.Engine { return db.svEng }
+
+// CollectGarbage runs a bounded GC round on MV databases; it reports the
+// number of versions reclaimed (always 0 for 1V: updates are in place).
+func (db *Database) CollectGarbage(limit int) int {
+	if db.mvEng != nil {
+		return db.mvEng.CollectGarbage(limit)
+	}
+	return 0
+}
+
+// Stats merges engine counters into a uniform view.
+type Stats struct {
+	Commits           uint64
+	Aborts            uint64
+	WriteConflicts    uint64
+	ValidationFails   uint64
+	LockFailures      uint64
+	LockTimeouts      uint64
+	DeadlockVictims   uint64
+	CascadingAborts   uint64
+	SpeculativeReads  uint64
+	VersionsRetired   uint64
+	VersionsReclaimed uint64
+}
+
+// Stats returns a snapshot of the database's counters.
+func (db *Database) Stats() Stats {
+	if db.mvEng != nil {
+		s := db.mvEng.Stats()
+		return Stats{
+			Commits:           s.Commits,
+			Aborts:            s.Aborts,
+			WriteConflicts:    s.WriteConflicts,
+			ValidationFails:   s.ValidationFails,
+			LockFailures:      s.LockFailures,
+			DeadlockVictims:   s.DeadlockVictims,
+			CascadingAborts:   s.CascadingAborts,
+			SpeculativeReads:  s.SpeculativeReads,
+			VersionsRetired:   s.VersionsRetired,
+			VersionsReclaimed: s.VersionsReclaims,
+		}
+	}
+	s := db.svEng.Stats()
+	return Stats{Commits: s.Commits, Aborts: s.Aborts, LockTimeouts: s.LockTimeouts}
+}
+
+// txOptions collects Begin options.
+type txOptions struct {
+	iso       Isolation
+	scheme    Scheme
+	hasScheme bool
+}
+
+// TxOption configures a transaction at Begin.
+type TxOption func(*txOptions)
+
+// WithIsolation selects the isolation level (default ReadCommitted, the
+// default level of the paper's experiments and of many commercial engines).
+func WithIsolation(level Isolation) TxOption {
+	return func(o *txOptions) { o.iso = level }
+}
+
+// WithScheme overrides the concurrency control scheme for one transaction.
+// Only meaningful on multiversion databases, where optimistic and
+// pessimistic transactions can be mixed; ignored on 1V.
+func WithScheme(s Scheme) TxOption {
+	return func(o *txOptions) { o.scheme = s; o.hasScheme = true }
+}
+
+// ErrUnsupported is returned for operations the backing engine cannot
+// perform.
+var ErrUnsupported = errors.New("core: operation unsupported by engine")
+
+// Tx is a transaction against a Database.
+type Tx struct {
+	db   *Database
+	mvTx *mv.Tx
+	svTx *sv.Tx
+}
+
+// Begin starts a transaction.
+func (db *Database) Begin(opts ...TxOption) *Tx {
+	o := txOptions{iso: ReadCommitted, scheme: db.cfg.Scheme}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if db.mvEng != nil {
+		scheme := mv.Optimistic
+		if o.scheme == MVPessimistic {
+			scheme = mv.Pessimistic
+		}
+		return &Tx{db: db, mvTx: db.mvEng.Begin(scheme, o.iso)}
+	}
+	return &Tx{db: db, svTx: db.svEng.Begin(o.iso)}
+}
+
+// Row is a handle to a record found by Lookup or Scan, usable as the target
+// of Update and Delete within the same transaction.
+type Row struct {
+	payload []byte
+	mvV     *storage.Version
+	svR     *sv.Record
+}
+
+// Payload returns the row's data as seen by the reading transaction. The
+// slice must not be modified.
+func (r Row) Payload() []byte { return r.payload }
+
+// Valid reports whether the row references a record.
+func (r Row) Valid() bool { return r.mvV != nil || r.svR != nil }
+
+// Scan iterates visible rows in the named index with the given key, calling
+// fn for each; fn returning false stops the scan. The payload passed to fn
+// is only valid during the callback.
+func (tx *Tx) Scan(t *Table, index int, key uint64, pred Pred, fn func(Row) bool) error {
+	if tx.mvTx != nil {
+		return tx.mvTx.Scan(t.mvT, index, key, mv.Pred(pred), func(v *storage.Version) bool {
+			return fn(Row{payload: v.Payload, mvV: v})
+		})
+	}
+	return tx.svTx.Scan(t.svT, index, key, sv.Pred(pred), func(r *sv.Record) bool {
+		return fn(Row{payload: r.Payload(), svR: r})
+	})
+}
+
+// Lookup returns the first visible row matching key and pred. The returned
+// payload is a copy and remains valid after the call.
+func (tx *Tx) Lookup(t *Table, index int, key uint64, pred Pred) (Row, bool, error) {
+	var row Row
+	err := tx.Scan(t, index, key, pred, func(r Row) bool {
+		row = r
+		row.payload = append([]byte(nil), r.payload...)
+		return false
+	})
+	if err != nil {
+		return Row{}, false, err
+	}
+	return row, row.Valid(), nil
+}
+
+// Insert adds a new record.
+func (tx *Tx) Insert(t *Table, payload []byte) error {
+	if tx.mvTx != nil {
+		return tx.mvTx.Insert(t.mvT, payload)
+	}
+	return tx.svTx.Insert(t.svT, payload)
+}
+
+// Update replaces the record identified by row with newPayload.
+func (tx *Tx) Update(t *Table, row Row, newPayload []byte) error {
+	if tx.mvTx != nil {
+		return tx.mvTx.Update(t.mvT, row.mvV, newPayload)
+	}
+	return tx.svTx.Update(t.svT, row.svR, newPayload)
+}
+
+// Delete removes the record identified by row.
+func (tx *Tx) Delete(t *Table, row Row) error {
+	if tx.mvTx != nil {
+		return tx.mvTx.Delete(t.mvT, row.mvV)
+	}
+	return tx.svTx.Delete(t.svT, row.svR)
+}
+
+// UpdateWhere updates every visible row matching key and pred with mut(old),
+// returning the number updated.
+func (tx *Tx) UpdateWhere(t *Table, index int, key uint64, pred Pred, mut func(old []byte) []byte) (int, error) {
+	if tx.mvTx != nil {
+		return tx.mvTx.UpdateWhere(t.mvT, index, key, mv.Pred(pred), mut)
+	}
+	return tx.svTx.UpdateWhere(t.svT, index, key, sv.Pred(pred), mut)
+}
+
+// DeleteWhere deletes every visible row matching key and pred, returning the
+// number deleted.
+func (tx *Tx) DeleteWhere(t *Table, index int, key uint64, pred Pred) (int, error) {
+	if tx.mvTx != nil {
+		return tx.mvTx.DeleteWhere(t.mvT, index, key, mv.Pred(pred))
+	}
+	return tx.svTx.DeleteWhere(t.svT, index, key, sv.Pred(pred))
+}
+
+// Commit attempts to commit. A non-nil error means the transaction aborted
+// (write-write conflict, validation failure, lock failure or timeout,
+// dependency cascade, deadlock victim); the caller may retry with a fresh
+// transaction.
+func (tx *Tx) Commit() error {
+	if tx.mvTx != nil {
+		return tx.mvTx.Commit()
+	}
+	return tx.svTx.Commit()
+}
+
+// Abort rolls the transaction back.
+func (tx *Tx) Abort() error {
+	if tx.mvTx != nil {
+		return tx.mvTx.Abort()
+	}
+	return tx.svTx.Abort()
+}

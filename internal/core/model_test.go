@@ -1,0 +1,167 @@
+package core
+
+// Model-based differential testing: random single-transaction operation
+// sequences are applied both to the engine and to a plain map model; after
+// every commit the model and the engine must agree exactly, and after every
+// abort the model must be unchanged. Runs across all schemes and isolation
+// levels (single-threaded, so every isolation level must behave like
+// serializable here).
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+type modelOp struct {
+	kind byte // 0 read, 1 upsert, 2 delete, 3 scan-count
+	key  uint64
+	val  uint64
+}
+
+func applyModelSequence(t *testing.T, scheme Scheme, level Isolation, seed int64) bool {
+	t.Helper()
+	db, tbl := openTest(t, scheme)
+	rng := rand.New(rand.NewSource(seed))
+	const keys = 12
+
+	model := make(map[uint64]uint64)
+	for k := uint64(0); k < keys/2; k++ {
+		v := rng.Uint64() % 1000
+		db.LoadRow(tbl, pay(k, v))
+		model[k] = v
+	}
+
+	for txi := 0; txi < 40; txi++ {
+		tx := db.Begin(WithIsolation(level))
+		pending := make(map[uint64]*uint64) // nil = delete
+		failed := false
+		nOps := 1 + rng.Intn(6)
+		for op := 0; op < nOps && !failed; op++ {
+			k := rng.Uint64() % keys
+			cur := func() (uint64, bool) {
+				if pv, ok := pending[k]; ok {
+					if pv == nil {
+						return 0, false
+					}
+					return *pv, true
+				}
+				v, ok := model[k]
+				return v, ok
+			}
+			switch rng.Intn(4) {
+			case 0: // read must match model ∪ pending
+				row, ok, err := tx.Lookup(tbl, 0, k, nil)
+				if err != nil {
+					failed = true
+					break
+				}
+				wantV, wantOK := cur()
+				if ok != wantOK || (ok && valOf(row.Payload()) != wantV) {
+					t.Fatalf("seed=%d %s/%s txi=%d: read k=%d got (%v,%v) want (%v,%v)",
+						seed, scheme, level, txi, k, valOf(row.Payload()), ok, wantV, wantOK)
+				}
+			case 1: // upsert
+				nv := rng.Uint64() % 1000
+				row, ok, err := tx.Lookup(tbl, 0, k, nil)
+				if err != nil {
+					failed = true
+					break
+				}
+				if ok {
+					err = tx.Update(tbl, row, pay(k, nv))
+				} else {
+					err = tx.Insert(tbl, pay(k, nv))
+				}
+				if err != nil {
+					failed = true
+					break
+				}
+				v := nv
+				pending[k] = &v
+			case 2: // delete if present
+				n, err := tx.DeleteWhere(tbl, 0, k, nil)
+				if err != nil {
+					failed = true
+					break
+				}
+				_, wantOK := cur()
+				if (n == 1) != wantOK {
+					t.Fatalf("seed=%d %s/%s: delete k=%d removed %d rows, want present=%v",
+						seed, scheme, level, k, n, wantOK)
+				}
+				if n == 1 {
+					pending[k] = nil
+				}
+			case 3: // scan count over one key's bucket
+				count := 0
+				if err := tx.Scan(tbl, 0, k, nil, func(Row) bool { count++; return true }); err != nil {
+					failed = true
+					break
+				}
+				want := 0
+				if _, ok := cur(); ok {
+					want = 1
+				}
+				if count != want {
+					t.Fatalf("seed=%d %s/%s: scan k=%d count=%d want %d",
+						seed, scheme, level, k, count, want)
+				}
+			}
+		}
+		if failed {
+			tx.Abort()
+			continue // model unchanged
+		}
+		// Randomly abort some transactions: their effects must vanish.
+		if rng.Intn(5) == 0 {
+			tx.Abort()
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			continue // treated as abort
+		}
+		for k, pv := range pending {
+			if pv == nil {
+				delete(model, k)
+			} else {
+				model[k] = *pv
+			}
+		}
+	}
+
+	// Final audit: engine state equals the model exactly.
+	audit := db.Begin(WithIsolation(SnapshotIsolation))
+	for k := uint64(0); k < keys; k++ {
+		row, ok, err := audit.Lookup(tbl, 0, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantV, wantOK := model[k]
+		if ok != wantOK || (ok && valOf(row.Payload()) != wantV) {
+			t.Fatalf("seed=%d %s/%s final: k=%d got (%v,%v) want (%v,%v)",
+				seed, scheme, level, k, valOf(row.Payload()), ok, wantV, wantOK)
+		}
+	}
+	if err := audit.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return true
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	levels := []Isolation{ReadCommitted, SnapshotIsolation, RepeatableRead, Serializable}
+	for _, scheme := range allSchemes {
+		for _, level := range levels {
+			scheme, level := scheme, level
+			t.Run(scheme.String()+"/"+level.String(), func(t *testing.T) {
+				f := func(seed int64) bool {
+					return applyModelSequence(t, scheme, level, seed)
+				}
+				if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5). Each experiment builds fresh databases for the
+// three concurrency control schemes (1V, MV/L, MV/O), runs the paper's
+// workload with the paper's parameters (scaled by configuration), and
+// reports the same rows or series the paper shows.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one line of a figure: a labelled y-value per x-value.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Report is the outcome of one experiment: a printable table plus raw series
+// for the shape assertions.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Series  []Series
+}
+
+// SeriesByLabel returns the series with the given label.
+func (r *Report) SeriesByLabel(label string) (Series, bool) {
+	for _, s := range r.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// WriteTo renders the report as an aligned text table.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}

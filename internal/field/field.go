@@ -1,0 +1,129 @@
+// Package field encodes and decodes the 64-bit Begin and End words stored
+// in every version header.
+//
+// The paper (Section 2.3, Section 4.1.1) overloads these words: most of the
+// time they hold a 63-bit commit timestamp, but while a transaction is
+// operating on the version they hold the transaction's ID, and under the
+// pessimistic scheme the End word additionally embeds the record lock:
+//
+//	bit 63      ContentType     0 = timestamp, 1 = transaction ID / lock word
+//	bits 0..62  Timestamp       when ContentType = 0
+//
+// A tagged Begin word holds a 63-bit transaction ID. A tagged End word is
+// always interpreted as a record-lock word with the exact layout of
+// Section 4.1.1:
+//
+//	bit 62      NoMoreReadLocks  no further read locks accepted
+//	bits 54..61 ReadLockCount    number of read locks (max 255)
+//	bits 0..53  WriteLock        ID of the write-locking transaction, or
+//	                             NoWriter (all ones) if none
+//
+// An optimistic transaction that "stores its transaction ID in the End
+// field" is represented as a lock word with zero read locks and the
+// transaction ID in WriteLock; this is what makes optimistic and pessimistic
+// transactions mutually compatible (Section 4.5).
+package field
+
+const (
+	tagBit = uint64(1) << 63
+
+	// Infinity is the largest representable timestamp. A version whose End
+	// word is Infinity is the latest version of its record.
+	Infinity = uint64(1)<<63 - 1
+
+	// NoWriter is the WriteLock field value meaning "no write lock held".
+	NoWriter = uint64(1)<<54 - 1
+
+	// MaxTxID is the largest transaction ID that fits in the 54-bit
+	// WriteLock field.
+	MaxTxID = NoWriter - 1
+
+	// MaxReadLocks is the capacity of the 8-bit ReadLockCount field.
+	MaxReadLocks = 255
+
+	noMoreBit    = uint64(1) << 62
+	readersShift = 54
+	readersMask  = uint64(0xFF) << readersShift
+	writerMask   = NoWriter
+)
+
+// FromTS returns the word encoding of timestamp ts.
+// ts must be at most Infinity.
+func FromTS(ts uint64) uint64 {
+	if ts > Infinity {
+		panic("field: timestamp overflows 63 bits")
+	}
+	return ts
+}
+
+// IsTS reports whether w holds a plain timestamp.
+func IsTS(w uint64) bool { return w&tagBit == 0 }
+
+// TS extracts the timestamp from a word for which IsTS is true.
+func TS(w uint64) uint64 { return w &^ tagBit }
+
+// FromTxID returns the Begin-word encoding of transaction ID id.
+func FromTxID(id uint64) uint64 {
+	if id > MaxTxID {
+		panic("field: transaction ID overflows 54 bits")
+	}
+	return tagBit | id
+}
+
+// TxID extracts the transaction ID from a tagged Begin word.
+func TxID(w uint64) uint64 { return w &^ tagBit }
+
+// Lock constructs an End-word record lock.
+func Lock(writer uint64, readers int, noMore bool) uint64 {
+	if writer != NoWriter && writer > MaxTxID {
+		panic("field: writer ID overflows 54 bits")
+	}
+	if readers < 0 || readers > MaxReadLocks {
+		panic("field: read lock count out of range")
+	}
+	w := tagBit | writer&writerMask | uint64(readers)<<readersShift
+	if noMore {
+		w |= noMoreBit
+	}
+	return w
+}
+
+// IsLock reports whether w is a lock word (equivalently, a tagged End word).
+func IsLock(w uint64) bool { return w&tagBit != 0 }
+
+// Writer returns the WriteLock field of lock word w. The result is NoWriter
+// when no transaction holds the write lock.
+func Writer(w uint64) uint64 { return w & writerMask }
+
+// HasWriter reports whether lock word w carries a write lock.
+func HasWriter(w uint64) bool { return w&writerMask != NoWriter }
+
+// Readers returns the ReadLockCount field of lock word w.
+func Readers(w uint64) int { return int((w & readersMask) >> readersShift) }
+
+// NoMoreReadLocks reports whether the starvation-prevention flag is set.
+func NoMoreReadLocks(w uint64) bool { return w&noMoreBit != 0 }
+
+// WithWriter returns w with the WriteLock field replaced by writer.
+func WithWriter(w, writer uint64) uint64 {
+	if writer != NoWriter && writer > MaxTxID {
+		panic("field: writer ID overflows 54 bits")
+	}
+	return w&^writerMask | writer&writerMask
+}
+
+// WithReaders returns w with the ReadLockCount field replaced by readers.
+func WithReaders(w uint64, readers int) uint64 {
+	if readers < 0 || readers > MaxReadLocks {
+		panic("field: read lock count out of range")
+	}
+	return w&^readersMask | uint64(readers)<<readersShift
+}
+
+// WithNoMore returns w with the NoMoreReadLocks flag set to noMore.
+func WithNoMore(w uint64, noMore bool) uint64 {
+	if noMore {
+		return w | noMoreBit
+	}
+	return w &^ noMoreBit
+}

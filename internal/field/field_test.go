@@ -1,0 +1,186 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimestampRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 42, Infinity - 1, Infinity}
+	for _, ts := range cases {
+		w := FromTS(ts)
+		if !IsTS(w) {
+			t.Fatalf("FromTS(%d) not recognized as timestamp", ts)
+		}
+		if IsLock(w) {
+			t.Fatalf("FromTS(%d) recognized as lock", ts)
+		}
+		if got := TS(w); got != ts {
+			t.Fatalf("TS(FromTS(%d)) = %d", ts, got)
+		}
+	}
+}
+
+func TestTimestampOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for timestamp > Infinity")
+		}
+	}()
+	FromTS(Infinity + 1)
+}
+
+func TestTxIDRoundTrip(t *testing.T) {
+	cases := []uint64{1, 7, MaxTxID}
+	for _, id := range cases {
+		w := FromTxID(id)
+		if IsTS(w) {
+			t.Fatalf("FromTxID(%d) recognized as timestamp", id)
+		}
+		if got := TxID(w); got != id {
+			t.Fatalf("TxID(FromTxID(%d)) = %d", id, got)
+		}
+	}
+}
+
+func TestTxIDOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for txid > MaxTxID")
+		}
+	}()
+	FromTxID(MaxTxID + 1)
+}
+
+func TestLockWordFields(t *testing.T) {
+	w := Lock(12345, 17, true)
+	if !IsLock(w) || IsTS(w) {
+		t.Fatal("lock word not recognized")
+	}
+	if Writer(w) != 12345 {
+		t.Fatalf("Writer = %d", Writer(w))
+	}
+	if !HasWriter(w) {
+		t.Fatal("HasWriter = false")
+	}
+	if Readers(w) != 17 {
+		t.Fatalf("Readers = %d", Readers(w))
+	}
+	if !NoMoreReadLocks(w) {
+		t.Fatal("NoMoreReadLocks = false")
+	}
+}
+
+func TestLockNoWriter(t *testing.T) {
+	w := Lock(NoWriter, 3, false)
+	if HasWriter(w) {
+		t.Fatal("HasWriter should be false for NoWriter")
+	}
+	if Writer(w) != NoWriter {
+		t.Fatalf("Writer = %d, want NoWriter", Writer(w))
+	}
+	if Readers(w) != 3 {
+		t.Fatalf("Readers = %d", Readers(w))
+	}
+}
+
+func TestWithWriterPreservesOtherFields(t *testing.T) {
+	w := Lock(NoWriter, 200, true)
+	w2 := WithWriter(w, 999)
+	if Writer(w2) != 999 || Readers(w2) != 200 || !NoMoreReadLocks(w2) {
+		t.Fatalf("WithWriter corrupted fields: writer=%d readers=%d nomore=%v",
+			Writer(w2), Readers(w2), NoMoreReadLocks(w2))
+	}
+	w3 := WithWriter(w2, NoWriter)
+	if HasWriter(w3) || Readers(w3) != 200 || !NoMoreReadLocks(w3) {
+		t.Fatal("clearing writer corrupted fields")
+	}
+}
+
+func TestWithReadersPreservesOtherFields(t *testing.T) {
+	w := Lock(777, 0, false)
+	w2 := WithReaders(w, MaxReadLocks)
+	if Writer(w2) != 777 || Readers(w2) != MaxReadLocks || NoMoreReadLocks(w2) {
+		t.Fatal("WithReaders corrupted fields")
+	}
+}
+
+func TestWithNoMorePreservesOtherFields(t *testing.T) {
+	w := Lock(777, 42, false)
+	w2 := WithNoMore(w, true)
+	if Writer(w2) != 777 || Readers(w2) != 42 || !NoMoreReadLocks(w2) {
+		t.Fatal("WithNoMore(true) corrupted fields")
+	}
+	w3 := WithNoMore(w2, false)
+	if w3 != Lock(777, 42, false) {
+		t.Fatal("WithNoMore(false) did not invert")
+	}
+}
+
+func TestReadersOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for readers > MaxReadLocks")
+		}
+	}()
+	Lock(1, MaxReadLocks+1, false)
+}
+
+// Property: a lock word round-trips every combination of fields exactly.
+func TestQuickLockRoundTrip(t *testing.T) {
+	f := func(writer uint64, readers uint8, noMore bool) bool {
+		w := writer % (MaxTxID + 2) // includes NoWriter
+		if w == MaxTxID+1 {
+			w = NoWriter
+		}
+		lw := Lock(w, int(readers), noMore)
+		return IsLock(lw) &&
+			Writer(lw) == w &&
+			Readers(lw) == int(readers) &&
+			NoMoreReadLocks(lw) == noMore
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: field mutators are independent — updating one field never
+// changes the others, in any order.
+func TestQuickFieldIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		writer := rng.Uint64() % (MaxTxID + 1)
+		readers := int(rng.Uint64() % (MaxReadLocks + 1))
+		noMore := rng.Intn(2) == 0
+		w := Lock(writer, readers, noMore)
+		switch rng.Intn(3) {
+		case 0:
+			nw := rng.Uint64() % (MaxTxID + 1)
+			w = WithWriter(w, nw)
+			writer = nw
+		case 1:
+			nr := int(rng.Uint64() % (MaxReadLocks + 1))
+			w = WithReaders(w, nr)
+			readers = nr
+		case 2:
+			noMore = !noMore
+			w = WithNoMore(w, noMore)
+		}
+		if Writer(w) != writer || Readers(w) != readers || NoMoreReadLocks(w) != noMore {
+			t.Fatalf("iteration %d: field corruption", i)
+		}
+	}
+}
+
+// Property: timestamps and transaction IDs occupy disjoint word spaces.
+func TestQuickTagDisjoint(t *testing.T) {
+	f := func(x uint64) bool {
+		ts := x % (Infinity + 1)
+		id := x % (MaxTxID + 1)
+		return IsTS(FromTS(ts)) && !IsTS(FromTxID(id)) && FromTS(ts) != FromTxID(id)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

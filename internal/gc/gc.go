@@ -1,0 +1,130 @@
+// Package gc reclaims obsolete versions (Section 2.3).
+//
+// Every update creates a new version, so old versions must be discarded once
+// they are no longer visible to any transaction. A version is garbage when
+// its end timestamp precedes the begin timestamp of the oldest active
+// transaction (the watermark): no current transaction's logical read time
+// can fall inside its valid interval, and future transactions read even
+// later. Versions created by aborted transactions (begin = infinity) are
+// garbage immediately.
+//
+// Collection is cooperative, as in the paper's prototype: transactions
+// retire their replaced versions as part of postprocessing, and worker
+// threads periodically call Collect to unlink a bounded amount of garbage
+// from the indexes. The work is fully parallelizable; the retire queue is
+// sharded to keep contention low.
+package gc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+const queueShards = 16
+
+type retired struct {
+	table *storage.Table
+	v     *storage.Version
+}
+
+// Collector tracks retired versions and unlinks them once they fall below
+// the visibility watermark.
+type Collector struct {
+	// watermark returns the oldest logical read time any current or future
+	// transaction can use (the minimum active begin timestamp, or the
+	// current clock when idle).
+	watermark func() uint64
+
+	shards   [queueShards]queueShard
+	next     atomic.Uint64
+	pending  atomic.Int64
+	retireCt atomic.Uint64
+	reclaim  atomic.Uint64
+}
+
+type queueShard struct {
+	mu sync.Mutex
+	q  []retired
+}
+
+// NewCollector creates a collector. watermark must be safe for concurrent
+// use.
+func NewCollector(watermark func() uint64) *Collector {
+	return &Collector{watermark: watermark}
+}
+
+// Retire hands a replaced or aborted version to the collector. The version's
+// End word must already be finalized (a timestamp, or begin = infinity for
+// aborted creations).
+func (c *Collector) Retire(table *storage.Table, v *storage.Version) {
+	i := c.next.Add(1) % queueShards
+	s := &c.shards[i]
+	s.mu.Lock()
+	s.q = append(s.q, retired{table, v})
+	s.mu.Unlock()
+	c.retireCt.Add(1)
+	c.pending.Add(1)
+}
+
+// Collect examines up to limit retired versions, unlinking those that are
+// garbage and requeueing the rest. It returns the number reclaimed. Workers
+// call this cooperatively between transactions.
+func (c *Collector) Collect(limit int) int {
+	if c.pending.Load() == 0 {
+		return 0 // fast path for read-mostly workloads
+	}
+	if limit <= 0 {
+		limit = 1 << 30
+	}
+	wm := c.watermark()
+	reclaimed := 0
+	examined := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		q := s.q
+		var keep []retired
+		for len(q) > 0 && examined < limit {
+			r := q[0]
+			q = q[1:]
+			examined++
+			if r.v.IsGarbage(wm) {
+				// Unlink outside the shard lock would be nicer, but unlink
+				// latches individual buckets, so the critical section stays
+				// short either way.
+				if r.table.Unlink(r.v) {
+					reclaimed++
+				}
+				c.pending.Add(-1)
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		s.q = append(keep, q...)
+		s.mu.Unlock()
+		if examined >= limit {
+			break
+		}
+	}
+	c.reclaim.Add(uint64(reclaimed))
+	return reclaimed
+}
+
+// Pending returns the number of versions awaiting collection.
+func (c *Collector) Pending() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.q)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns cumulative retire and reclaim counts.
+func (c *Collector) Stats() (retired, reclaimed uint64) {
+	return c.retireCt.Load(), c.reclaim.Load()
+}

@@ -1,0 +1,137 @@
+package gc
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/storage"
+)
+
+func pay(key uint64) []byte {
+	p := make([]byte, 8)
+	binary.LittleEndian.PutUint64(p, key)
+	return p
+}
+
+func keyOf(p []byte) uint64 { return binary.LittleEndian.Uint64(p) }
+
+func newTable(t *testing.T) *storage.Table {
+	t.Helper()
+	tbl, err := storage.NewTable(storage.TableSpec{
+		Name:    "t",
+		Indexes: []storage.IndexSpec{{Name: "pk", Key: keyOf, Buckets: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func chainLen(tbl *storage.Table, key uint64) int {
+	n := 0
+	for v := tbl.Index(0).Bucket(key).Head(); v != nil; v = v.Next(0) {
+		n++
+	}
+	return n
+}
+
+func TestCollectRespectsWatermark(t *testing.T) {
+	tbl := newTable(t)
+	var wm atomic.Uint64
+	c := NewCollector(func() uint64 { return wm.Load() })
+
+	// Three superseded versions ending at 10, 20, 30.
+	for _, end := range []uint64{10, 20, 30} {
+		v := storage.NewVersion(pay(1), 1, field.FromTS(end-5), field.FromTS(end))
+		tbl.Insert(v)
+		c.Retire(tbl, v)
+	}
+	wm.Store(5)
+	if n := c.Collect(0); n != 0 {
+		t.Fatalf("reclaimed %d below watermark", n)
+	}
+	wm.Store(20)
+	if n := c.Collect(0); n != 2 {
+		t.Fatalf("reclaimed %d, want 2 (ends 10 and 20)", n)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+	wm.Store(1 << 60)
+	if n := c.Collect(0); n != 1 {
+		t.Fatalf("reclaimed %d, want 1", n)
+	}
+	if chainLen(tbl, 1) != 0 {
+		t.Fatalf("chain length %d after full collection", chainLen(tbl, 1))
+	}
+	retired, reclaimed := c.Stats()
+	if retired != 3 || reclaimed != 3 {
+		t.Fatalf("stats = %d/%d", retired, reclaimed)
+	}
+}
+
+func TestAbortedVersionsCollectImmediately(t *testing.T) {
+	tbl := newTable(t)
+	c := NewCollector(func() uint64 { return 0 })
+	v := storage.NewVersion(pay(1), 1, field.FromTS(field.Infinity), field.FromTS(field.Infinity))
+	tbl.Insert(v)
+	c.Retire(tbl, v)
+	if n := c.Collect(0); n != 1 {
+		t.Fatalf("reclaimed %d, want 1 (aborted)", n)
+	}
+}
+
+func TestCollectLimit(t *testing.T) {
+	tbl := newTable(t)
+	c := NewCollector(func() uint64 { return 1 << 60 })
+	for i := 0; i < 100; i++ {
+		v := storage.NewVersion(pay(uint64(i)), 1, field.FromTS(1), field.FromTS(2))
+		tbl.Insert(v)
+		c.Retire(tbl, v)
+	}
+	n := c.Collect(10)
+	if n == 0 || n > 10 {
+		t.Fatalf("limited collect reclaimed %d", n)
+	}
+	total := n
+	for i := 0; i < 20 && total < 100; i++ {
+		total += c.Collect(10)
+	}
+	if total != 100 {
+		t.Fatalf("total reclaimed %d", total)
+	}
+}
+
+func TestConcurrentRetireCollect(t *testing.T) {
+	tbl := newTable(t)
+	c := NewCollector(func() uint64 { return 1 << 60 })
+	var wg sync.WaitGroup
+	const workers, per = 4, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := storage.NewVersion(pay(uint64(w*per+i)), 1, field.FromTS(1), field.FromTS(2))
+				tbl.Insert(v)
+				c.Retire(tbl, v)
+				if i%16 == 0 {
+					c.Collect(32)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for c.Pending() > 0 {
+		if c.Collect(0) == 0 && c.Pending() > 0 {
+			t.Fatalf("stuck with %d pending", c.Pending())
+		}
+	}
+	_, reclaimed := c.Stats()
+	if reclaimed != workers*per {
+		t.Fatalf("reclaimed %d, want %d", reclaimed, workers*per)
+	}
+}

@@ -1,0 +1,37 @@
+// Package iso defines the transaction isolation levels of Section 2, shared
+// by the multiversion and single-version engines.
+package iso
+
+// Level is a transaction isolation level.
+type Level int
+
+const (
+	// ReadCommitted guarantees that all versions read are committed. In the
+	// MV engine it reads at the current time; in the 1V engine it takes
+	// short-duration read locks (cursor stability).
+	ReadCommitted Level = iota
+	// SnapshotIsolation reads a transaction-consistent snapshot as of the
+	// transaction's begin time. Only the MV engine supports it; the 1V
+	// engine upgrades it to RepeatableRead.
+	SnapshotIsolation
+	// RepeatableRead guarantees read stability but not phantom avoidance.
+	RepeatableRead
+	// Serializable guarantees read stability and phantom avoidance.
+	Serializable
+)
+
+// String returns the level name as used in the paper.
+func (l Level) String() string {
+	switch l {
+	case ReadCommitted:
+		return "ReadCommitted"
+	case SnapshotIsolation:
+		return "SnapshotIsolation"
+	case RepeatableRead:
+		return "RepeatableRead"
+	case Serializable:
+		return "Serializable"
+	default:
+		return "Unknown"
+	}
+}

@@ -1,0 +1,316 @@
+package mv
+
+import (
+	"repro/internal/field"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Commit drives the transaction through the end of normal processing, the
+// preparation phase, and postprocessing (Sections 2.4, 3.2-3.3, 4.3).
+//
+// Pessimistic steps: release read and bucket locks, wait for incoming
+// wait-for dependencies, then precommit. Optimistic steps: validate reads
+// and scans after precommit. Both: wait for commit dependencies, write the
+// redo log record, switch to Committed, propagate the end timestamp into the
+// version words, report to dependents, and hand old versions to the garbage
+// collector.
+//
+// A non-nil error means the transaction aborted; the abort has already been
+// fully processed.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+
+	// End of normal processing (Section 4.3.1): release read locks and
+	// bucket locks. Purely optimistic transactions hold none.
+	tx.releaseAllReadLocks()
+	tx.releaseBucketLocks()
+
+	if tx.T.AbortRequested() {
+		tx.e.cascadingAborts.Add(1)
+		tx.abortInternal()
+		return ErrAborted
+	}
+
+	// Wait until incoming wait-for dependencies drain; this also flips
+	// NoMoreWaitFors so no new ones can be installed. The deadlock detector
+	// may break this wait by setting AbortNow.
+	if err := tx.T.WaitWaitFors(); err != nil {
+		tx.e.cascadingAborts.Add(1)
+		tx.abortInternal()
+		return ErrAborted
+	}
+
+	// Precommit: acquire the end timestamp and enter the Preparing state.
+	end := tx.e.oracle.Next()
+	tx.T.SetEnd(end)
+	tx.T.SetState(txn.Preparing)
+
+	// Release outgoing wait-for dependencies: transactions that inserted
+	// into our locked buckets (or whose commits we delayed for phantom
+	// protection) may now precommit (Section 4.2.2).
+	tx.T.ReleaseWaiters(tx.e.txns)
+
+	// Preparation phase. Pessimistic transactions need no validation —
+	// that is taken care of by locks (Section 4.3.2).
+	if tx.scheme == Optimistic {
+		if err := tx.validate(end); err != nil {
+			tx.e.validationFails.Add(1)
+			tx.abortInternal()
+			return err
+		}
+	}
+
+	// Wait for outstanding commit dependencies (often already resolved).
+	if err := tx.T.WaitCommitDeps(); err != nil {
+		tx.e.cascadingAborts.Add(1)
+		tx.abortInternal()
+		return ErrAborted
+	}
+
+	// Write the redo record. Commit ordering is determined by end
+	// timestamps carried in the records (Section 3.2).
+	if tx.e.cfg.Log != nil && len(tx.writeSet) > 0 {
+		rec := &wal.Record{TxID: tx.T.ID, EndTS: end}
+		rec.Ops = make([]wal.Entry, 0, len(tx.writeSet))
+		for i := range tx.writeSet {
+			wr := &tx.writeSet[i]
+			e := wal.Entry{Table: wr.table.Name, Op: wr.op, Key: wr.key}
+			if wr.newV != nil {
+				e.Payload = wr.newV.Payload
+			}
+			rec.Ops = append(rec.Ops, e)
+		}
+		if err := tx.e.cfg.Log.Append(rec); err != nil {
+			tx.abortInternal()
+			return err
+		}
+	}
+
+	// The commit point: updates become visible to other transactions when
+	// the state changes to Committed (Section 3).
+	tx.T.SetState(txn.Committed)
+
+	// Postprocessing: propagate the end timestamp into the Begin fields of
+	// new versions and the End fields of old versions (Section 3.3).
+	endWord := field.FromTS(end)
+	for i := range tx.writeSet {
+		wr := &tx.writeSet[i]
+		if wr.newV != nil {
+			wr.newV.SetBegin(endWord)
+		}
+		if wr.old != nil {
+			tx.finalizeEnd(wr.old, endWord)
+		}
+	}
+
+	// Report to dependents, then leave the transaction table.
+	tx.T.ResolveDependents(true, tx.e.txns)
+	tx.T.SetState(txn.Terminated)
+	tx.e.txns.Remove(tx.T.ID)
+
+	// Old versions are now superseded; assign them to the garbage
+	// collector.
+	for i := range tx.writeSet {
+		wr := &tx.writeSet[i]
+		if wr.old != nil {
+			tx.e.gc.Retire(wr.table, wr.old)
+		}
+	}
+
+	tx.done = true
+	tx.e.commits.Add(1)
+	tx.e.finishTx(tx)
+	return nil
+}
+
+// finalizeEnd replaces tx's write lock on v with the commit timestamp. All
+// read locks have necessarily drained: the last releaser set NoMoreReadLocks
+// and new readers cannot install wait-for dependencies after precommit.
+func (tx *Tx) finalizeEnd(v *storage.Version, endWord uint64) {
+	for {
+		w := v.End()
+		if !field.IsLock(w) || field.Writer(w) != tx.T.ID {
+			return
+		}
+		if v.CASEnd(w, endWord) {
+			return
+		}
+	}
+}
+
+// Abort rolls the transaction back explicitly.
+func (tx *Tx) Abort() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.abortInternal()
+	return nil
+}
+
+// abortInternal performs the abort transition and postprocessing: new
+// versions are made invisible (Begin = infinity), write locks on old
+// versions are reset (unless another transaction already detected the abort
+// and took over the version), dependents are told to abort, and garbage is
+// handed to the collector.
+func (tx *Tx) abortInternal() {
+	tx.T.SetState(txn.Aborted)
+
+	tx.releaseAllReadLocks()
+	tx.releaseBucketLocks()
+	tx.T.ReleaseWaiters(tx.e.txns)
+
+	infWord := field.FromTS(field.Infinity)
+	for i := range tx.writeSet {
+		wr := &tx.writeSet[i]
+		if wr.newV != nil {
+			// Make the version invisible to everyone (Section 3.3).
+			wr.newV.SetBegin(infWord)
+		}
+		if wr.old != nil {
+			tx.resetEnd(wr.old)
+		}
+	}
+
+	// Cascade: dependents must also abort (Section 2.7).
+	tx.T.ResolveDependents(false, tx.e.txns)
+	tx.T.SetState(txn.Terminated)
+	tx.e.txns.Remove(tx.T.ID)
+
+	// The new versions are garbage immediately; unlink them.
+	for i := range tx.writeSet {
+		wr := &tx.writeSet[i]
+		if wr.newV != nil {
+			tx.e.gc.Retire(wr.table, wr.newV)
+		}
+	}
+
+	tx.done = true
+	tx.e.aborts.Add(1)
+	tx.e.finishTx(tx)
+}
+
+// resetEnd attempts to restore v's End word to infinity after an abort,
+// preserving any read locks. If another transaction has already detected the
+// abort and taken over the write lock, the word is left unchanged
+// (Section 3.3).
+func (tx *Tx) resetEnd(v *storage.Version) {
+	for {
+		w := v.End()
+		if !field.IsLock(w) || field.Writer(w) != tx.T.ID {
+			return
+		}
+		var nw uint64
+		if field.Readers(w) > 0 {
+			nw = field.WithWriter(w, field.NoWriter)
+		} else {
+			nw = field.FromTS(field.Infinity)
+		}
+		if v.CASEnd(w, nw) {
+			return
+		}
+	}
+}
+
+// validate implements the preparation-phase checks of an optimistic
+// transaction (Section 3.2): read stability for repeatable read and above,
+// phantom detection for serializable.
+func (tx *Tx) validate(end uint64) error {
+	if tx.iso != RepeatableRead && tx.iso != Serializable {
+		return nil
+	}
+	for _, v := range tx.readSet {
+		ok, err := tx.stillVisible(v, end)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return ErrValidation
+		}
+	}
+	if tx.iso != Serializable {
+		return nil
+	}
+	// Phantom detection: repeat every scan looking for versions that came
+	// into existence during the transaction's lifetime and are visible as of
+	// its end (Figure 3's V4 case).
+	for _, sc := range tx.scanSet {
+		b := sc.ix.Bucket(sc.key)
+		ord := sc.ix.Ord()
+		for v := b.Head(); v != nil; v = v.Next(ord) {
+			if v.Key(ord) != sc.key {
+				continue
+			}
+			if sc.pred != nil && !sc.pred(v.Payload) {
+				continue
+			}
+			bw := v.Begin()
+			if !field.IsTS(bw) && field.TxID(bw) == tx.T.ID {
+				continue // our own creation is not a phantom
+			}
+			visEnd, err := tx.isVisible(v, end)
+			if err != nil {
+				return err
+			}
+			if !visEnd {
+				continue
+			}
+			visStart, err := tx.isVisible(v, tx.T.Begin)
+			if err != nil {
+				return err
+			}
+			if !visStart {
+				return ErrValidation // phantom
+			}
+		}
+	}
+	return nil
+}
+
+// stillVisible checks that a read-set version remains visible at the end
+// timestamp. Versions the transaction itself updated or deleted pass: the
+// write lock proves no other transaction changed them after the read.
+func (tx *Tx) stillVisible(v *storage.Version, end uint64) (bool, error) {
+	bw := v.Begin()
+	if !field.IsTS(bw) && field.TxID(bw) == tx.T.ID {
+		// Our own insert, possibly updated/deleted again by us.
+		return true, nil
+	}
+	for {
+		w := v.End()
+		if field.IsTS(w) {
+			return end < field.TS(w), nil
+		}
+		writer := field.Writer(w)
+		if writer == field.NoWriter || writer == tx.T.ID {
+			return true, nil
+		}
+		te, ok := tx.e.txns.Lookup(writer)
+		if !ok {
+			continue // finalizing; reread
+		}
+		switch te.State() {
+		case txn.Active:
+			// An uncommitted update: if it ever commits its end timestamp
+			// will exceed ours, so our read remains valid.
+			return true, nil
+		case txn.Preparing, txn.Committed:
+			teEnd := te.End()
+			if teEnd == 0 {
+				continue
+			}
+			// If TE's end precedes ours and TE commits, the version was
+			// replaced inside our lifetime. We cannot take an
+			// "abort-dependency", so fail conservatively even if TE is
+			// still preparing.
+			return end < teEnd, nil
+		case txn.Aborted:
+			return true, nil
+		default:
+			continue
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package mv
+
+import (
+	"repro/internal/deadlock"
+	"repro/internal/field"
+	"repro/internal/txn"
+)
+
+// detectorSource adapts the engine to the deadlock detector (Section 4.4).
+type detectorSource Engine
+
+// Snapshot builds the wait-for graph in the paper's three steps: nodes for
+// transactions blocked on wait-for dependencies, explicit edges from
+// WaitingTxnLists, and implicit edges from read-locked versions (a wait-for
+// dependency on a read-locked version stands for dependencies on every
+// transaction holding a read lock on it, recovered from read sets).
+func (s *detectorSource) Snapshot() *deadlock.Graph {
+	e := (*Engine)(s)
+	g := deadlock.NewGraph()
+
+	var txs []*txn.Txn
+	e.txns.ForEach(func(t *txn.Txn) { txs = append(txs, t) })
+
+	// Step 1: nodes are transactions that completed normal processing and
+	// are blocked by wait-for dependencies.
+	for _, t := range txs {
+		if t.Blocked() {
+			g.AddNode(t.ID)
+		}
+	}
+
+	for _, t := range txs {
+		if !g.Contains(t.ID) {
+			continue
+		}
+		// Step 2: explicit dependencies. Every transaction in t's
+		// WaitingTxnList waits for t.
+		for _, wid := range t.Waiters() {
+			g.AddEdge(wid, t.ID)
+		}
+		// Step 3: implicit dependencies. If a version read-locked by t is
+		// write locked by a blocked transaction T2, T2 waits for t's lock
+		// release.
+		for _, v := range t.SnapshotReadLocks() {
+			w := v.End()
+			if field.IsLock(w) && field.HasWriter(w) {
+				g.AddEdge(field.Writer(w), t.ID)
+			}
+		}
+	}
+	return g
+}
+
+// StillBlocked re-verifies that a cycle participant is really still blocked.
+func (s *detectorSource) StillBlocked(id uint64) bool {
+	e := (*Engine)(s)
+	t, ok := e.txns.Lookup(id)
+	return ok && t.Blocked()
+}
+
+// EndTimestampOf returns the transaction's end timestamp, falling back to
+// its ID (begin timestamp) when it has not precommitted — transactions
+// blocked on wait-fors never have an end timestamp yet, and IDs preserve the
+// same age order.
+func (s *detectorSource) EndTimestampOf(id uint64) uint64 {
+	e := (*Engine)(s)
+	t, ok := e.txns.Lookup(id)
+	if !ok {
+		return 0
+	}
+	if end := t.End(); end != 0 {
+		return end
+	}
+	return t.ID
+}
+
+// Abort asks a deadlock victim to abort; its wait loop observes AbortNow.
+func (s *detectorSource) Abort(id uint64) {
+	e := (*Engine)(s)
+	if t, ok := e.txns.Lookup(id); ok {
+		t.RequestAbort()
+	}
+}

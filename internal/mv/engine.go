@@ -1,0 +1,242 @@
+// Package mv implements the paper's multiversion storage engine with both
+// concurrency control schemes: optimistic (MV/O, Section 3) and pessimistic
+// (MV/L, Section 4). The two schemes are mutually compatible — optimistic
+// and pessimistic transactions can run concurrently against the same engine
+// (Section 4.5) — and all four isolation levels of Section 2 are supported.
+package mv
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/deadlock"
+	"repro/internal/gc"
+	"repro/internal/iso"
+	"repro/internal/storage"
+	"repro/internal/ts"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Scheme selects the concurrency control method for a transaction.
+type Scheme int
+
+const (
+	// Optimistic transactions validate their reads and scans at commit
+	// (MV/O).
+	Optimistic Scheme = iota
+	// Pessimistic transactions take record and bucket locks (MV/L).
+	Pessimistic
+)
+
+func (s Scheme) String() string {
+	if s == Pessimistic {
+		return "MV/L"
+	}
+	return "MV/O"
+}
+
+// Isolation is a transaction isolation level (Section 2), shared with the
+// single-version engine through package iso.
+type Isolation = iso.Level
+
+const (
+	// ReadCommitted reads the latest committed version (logical read time =
+	// current time). No validation or read locks.
+	ReadCommitted = iso.ReadCommitted
+	// SnapshotIsolation reads as of the transaction's begin time. No
+	// validation or locks.
+	SnapshotIsolation = iso.SnapshotIsolation
+	// RepeatableRead guarantees read stability but not phantom avoidance.
+	RepeatableRead = iso.RepeatableRead
+	// Serializable guarantees read stability and phantom avoidance.
+	Serializable = iso.Serializable
+)
+
+// Config controls engine construction.
+type Config struct {
+	// Log, when non-nil, receives a redo record for every committing
+	// transaction with writes.
+	Log *wal.Log
+	// DeadlockInterval is the wait-for deadlock detection period. Zero means
+	// the default (2ms); negative disables the background detector (the
+	// cooperative RunOnce path remains available).
+	DeadlockInterval time.Duration
+	// GCEvery runs a cooperative garbage collection round every N finished
+	// transactions (default 64). Negative disables cooperative GC.
+	GCEvery int
+	// GCQuota caps versions examined per cooperative round (default 256).
+	GCQuota int
+	// DisableSpeculation turns off speculative reads and speculative ignores
+	// (ablation): visibility outcomes that would require a commit dependency
+	// abort instead.
+	DisableSpeculation bool
+	// DisableEagerUpdates turns off the eager-update optimization (ablation
+	// of Section 4.2): updating a read-locked version or inserting into a
+	// locked bucket aborts instead of installing a wait-for dependency.
+	DisableEagerUpdates bool
+}
+
+// Stats aggregates engine-wide counters.
+type Stats struct {
+	Commits         uint64
+	Aborts          uint64
+	WriteConflicts  uint64
+	ValidationFails uint64
+	LockFailures    uint64
+	DeadlockVictims uint64
+	// CascadingAborts counts aborts forced on a transaction from outside:
+	// failed commit dependencies and deadlock victimhood.
+	CascadingAborts  uint64
+	SpeculativeReads uint64
+	VersionsRetired  uint64
+	VersionsReclaims uint64
+}
+
+// Engine is a multiversion main-memory storage engine.
+type Engine struct {
+	cfg    Config
+	oracle ts.Oracle
+	txns   *txn.Table
+	gc     *gc.Collector
+	blt    *storage.BucketLockTable
+	det    *deadlock.Detector
+
+	tablesMu sync.RWMutex
+	tables   map[string]*storage.Table
+
+	sinceGC atomic.Int64
+
+	commits          atomic.Uint64
+	aborts           atomic.Uint64
+	writeConflicts   atomic.Uint64
+	validationFails  atomic.Uint64
+	lockFailures     atomic.Uint64
+	cascadingAborts  atomic.Uint64
+	speculativeReads atomic.Uint64
+}
+
+// NewEngine constructs an engine. Call Close when done to stop background
+// workers.
+func NewEngine(cfg Config) *Engine {
+	if cfg.GCEvery == 0 {
+		cfg.GCEvery = 64
+	}
+	if cfg.GCQuota == 0 {
+		cfg.GCQuota = 256
+	}
+	e := &Engine{
+		cfg:    cfg,
+		txns:   txn.NewTable(),
+		blt:    storage.NewBucketLockTable(),
+		tables: make(map[string]*storage.Table),
+	}
+	e.gc = gc.NewCollector(func() uint64 {
+		return e.txns.OldestBegin(e.oracle.Current())
+	})
+	interval := cfg.DeadlockInterval
+	if interval == 0 {
+		interval = 2 * time.Millisecond
+	}
+	if interval > 0 {
+		e.det = deadlock.NewDetector((*detectorSource)(e), interval)
+		e.det.Start()
+	}
+	return e
+}
+
+// Close stops background workers and closes the log if one was attached.
+func (e *Engine) Close() error {
+	if e.det != nil {
+		e.det.Stop()
+	}
+	if e.cfg.Log != nil {
+		return e.cfg.Log.Close()
+	}
+	return nil
+}
+
+// CreateTable registers a new table.
+func (e *Engine) CreateTable(spec storage.TableSpec) (*storage.Table, error) {
+	t, err := storage.NewTable(spec)
+	if err != nil {
+		return nil, err
+	}
+	e.tablesMu.Lock()
+	defer e.tablesMu.Unlock()
+	e.tables[spec.Name] = t
+	return t, nil
+}
+
+// Table returns a table by name.
+func (e *Engine) Table(name string) (*storage.Table, bool) {
+	e.tablesMu.RLock()
+	defer e.tablesMu.RUnlock()
+	t, ok := e.tables[name]
+	return t, ok
+}
+
+// LoadRow inserts a committed row directly, bypassing transaction machinery.
+// It is used for initial bulk loading (single-threaded).
+func (e *Engine) LoadRow(t *storage.Table, payload []byte) {
+	tstamp := e.oracle.Next()
+	v := storage.NewVersion(payload, t.NumIndexes(), tstamp, infinityWord)
+	t.Insert(v)
+}
+
+// Oracle exposes the timestamp oracle (tests and diagnostics).
+func (e *Engine) Oracle() *ts.Oracle { return &e.oracle }
+
+// TxnTable exposes the transaction table (tests and diagnostics).
+func (e *Engine) TxnTable() *txn.Table { return e.txns }
+
+// Collector exposes the garbage collector.
+func (e *Engine) Collector() *gc.Collector { return e.gc }
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats {
+	retired, reclaimed := e.gc.Stats()
+	s := Stats{
+		Commits:          e.commits.Load(),
+		Aborts:           e.aborts.Load(),
+		WriteConflicts:   e.writeConflicts.Load(),
+		ValidationFails:  e.validationFails.Load(),
+		LockFailures:     e.lockFailures.Load(),
+		CascadingAborts:  e.cascadingAborts.Load(),
+		SpeculativeReads: e.speculativeReads.Load(),
+		VersionsRetired:  retired,
+		VersionsReclaims: reclaimed,
+	}
+	if e.det != nil {
+		s.DeadlockVictims = e.det.Victims()
+	}
+	return s
+}
+
+// Begin starts a transaction under the given scheme and isolation level.
+func (e *Engine) Begin(scheme Scheme, iso Isolation) *Tx {
+	id := e.oracle.Next()
+	t := txn.New(id, id)
+	e.txns.Register(t)
+	return &Tx{e: e, T: t, scheme: scheme, iso: iso}
+}
+
+func (e *Engine) finishTx(tx *Tx) {
+	if e.cfg.GCEvery > 0 && e.sinceGC.Add(1)%int64(e.cfg.GCEvery) == 0 {
+		e.gc.Collect(e.cfg.GCQuota)
+	}
+}
+
+// CollectGarbage runs a bounded garbage collection round and returns the
+// number of versions reclaimed.
+func (e *Engine) CollectGarbage(limit int) int { return e.gc.Collect(limit) }
+
+// DetectDeadlocks runs one synchronous deadlock detection pass; it returns
+// the number of victims aborted. Useful when the background detector is
+// disabled.
+func (e *Engine) DetectDeadlocks() int {
+	src := (*detectorSource)(e)
+	d := deadlock.NewDetector(src, time.Hour)
+	return d.RunOnce()
+}

@@ -1,0 +1,32 @@
+package mv
+
+import "errors"
+
+var (
+	// ErrTxDone is returned when operating on a committed or aborted
+	// transaction.
+	ErrTxDone = errors.New("mv: transaction already finished")
+	// ErrWriteConflict is a write-write conflict: the first-writer-wins rule
+	// (Section 2.6) forces the second writer to abort.
+	ErrWriteConflict = errors.New("mv: write-write conflict")
+	// ErrValidation is returned at commit when an optimistic transaction
+	// fails read validation or phantom detection (Section 3.2).
+	ErrValidation = errors.New("mv: validation failed")
+	// ErrReadLockFailed is returned when a read lock cannot be acquired:
+	// the counter is saturated, NoMoreReadLocks is set, or the write-locking
+	// transaction no longer accepts wait-for dependencies (Section 4.2.1).
+	ErrReadLockFailed = errors.New("mv: read lock acquisition failed")
+	// ErrPhantomRisk is returned when a serializable pessimistic transaction
+	// cannot impose a phantom-preventing wait-for dependency (the inserting
+	// transaction has NoMoreWaitFors set or is already committing).
+	ErrPhantomRisk = errors.New("mv: cannot prevent potential phantom")
+	// ErrWaitForRefused is returned when a wait-for dependency cannot be
+	// installed because the target refuses new dependencies.
+	ErrWaitForRefused = errors.New("mv: wait-for dependency refused")
+	// ErrSpeculationDisabled is returned when speculative reads/ignores are
+	// disabled (ablation mode) and visibility would require one.
+	ErrSpeculationDisabled = errors.New("mv: speculation disabled")
+	// ErrAborted mirrors txn.ErrAborted: the transaction was told to abort
+	// by a failed commit dependency or the deadlock detector.
+	ErrAborted = errors.New("mv: transaction aborted")
+)

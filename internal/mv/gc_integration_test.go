@@ -1,0 +1,156 @@
+package mv
+
+// Engine-level garbage collection behaviour: cooperative collection bounds
+// version-chain growth, disabling it lets chains grow, and aborted inserts
+// are unlinked promptly.
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func chainLength(tbl *storage.Table, key uint64) int {
+	n := 0
+	for v := tbl.Index(0).Bucket(key).Head(); v != nil; v = v.Next(0) {
+		if v.Key(0) == key {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCooperativeGCBoundsChains(t *testing.T) {
+	e := NewEngine(Config{DeadlockInterval: -1, GCEvery: 8, GCQuota: 64})
+	t.Cleanup(func() { e.Close() })
+	tbl, err := e.CreateTable(storage.TableSpec{
+		Name:    "t",
+		Indexes: []storage.IndexSpec{{Name: "pk", Key: payloadKey, Buckets: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.LoadRow(tbl, testPayload(1, 0))
+	for i := 1; i <= 500; i++ {
+		tx := e.Begin(Optimistic, ReadCommitted)
+		if err := writeVal(t, tx, tbl, 1, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	// Cooperative rounds ran every 8 transactions: the chain must be far
+	// shorter than the 501 versions ever created.
+	if n := chainLength(tbl, 1); n > 100 {
+		t.Fatalf("chain length %d with cooperative GC; growth unbounded", n)
+	}
+	// A final explicit sweep leaves exactly the live version.
+	for e.CollectGarbage(0) > 0 {
+	}
+	if n := chainLength(tbl, 1); n != 1 {
+		t.Fatalf("chain length %d after full GC, want 1", n)
+	}
+}
+
+func TestDisabledGCGrowsChains(t *testing.T) {
+	e := NewEngine(Config{DeadlockInterval: -1, GCEvery: -1})
+	t.Cleanup(func() { e.Close() })
+	tbl, err := e.CreateTable(storage.TableSpec{
+		Name:    "t",
+		Indexes: []storage.IndexSpec{{Name: "pk", Key: payloadKey, Buckets: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.LoadRow(tbl, testPayload(1, 0))
+	const updates = 100
+	for i := 1; i <= updates; i++ {
+		tx := e.Begin(Optimistic, ReadCommitted)
+		if err := writeVal(t, tx, tbl, 1, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	if n := chainLength(tbl, 1); n != updates+1 {
+		t.Fatalf("chain length %d with GC disabled, want %d", n, updates+1)
+	}
+	// Visibility still correct despite the long chain.
+	tx := e.Begin(Optimistic, ReadCommitted)
+	if v, _ := readVal(t, tx, tbl, 1); v != updates {
+		t.Fatalf("value = %d, want %d", v, updates)
+	}
+	mustCommit(t, tx)
+}
+
+func TestAbortedInsertCollected(t *testing.T) {
+	e := NewEngine(Config{DeadlockInterval: -1, GCEvery: -1})
+	t.Cleanup(func() { e.Close() })
+	tbl, err := e.CreateTable(storage.TableSpec{
+		Name:    "t",
+		Indexes: []storage.IndexSpec{{Name: "pk", Key: payloadKey, Buckets: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin(Optimistic, ReadCommitted)
+	if err := tx.Insert(tbl, testPayload(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if n := chainLength(tbl, 1); n != 1 {
+		t.Fatalf("aborted insert not linked? chain=%d", n)
+	}
+	// Aborted garbage needs no watermark: one sweep removes it.
+	if n := e.CollectGarbage(0); n != 1 {
+		t.Fatalf("reclaimed %d, want 1", n)
+	}
+	if n := chainLength(tbl, 1); n != 0 {
+		t.Fatalf("chain length %d after GC, want 0", n)
+	}
+}
+
+func TestGCRespectsLongSnapshot(t *testing.T) {
+	e := NewEngine(Config{DeadlockInterval: -1, GCEvery: -1})
+	t.Cleanup(func() { e.Close() })
+	tbl, err := e.CreateTable(storage.TableSpec{
+		Name:    "t",
+		Indexes: []storage.IndexSpec{{Name: "pk", Key: payloadKey, Buckets: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.LoadRow(tbl, testPayload(1, 0))
+	snap := e.Begin(Optimistic, SnapshotIsolation)
+	if v, _ := readVal(t, snap, tbl, 1); v != 0 {
+		t.Fatal("snapshot read failed")
+	}
+	for i := 1; i <= 10; i++ {
+		tx := e.Begin(Optimistic, ReadCommitted)
+		if err := writeVal(t, tx, tbl, 1, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	// The snapshot pins the watermark at its begin timestamp: only versions
+	// that ended before it are collectable — none here (the snapshot's
+	// version is the oldest and still visible to it).
+	if n := e.CollectGarbage(0); n != 0 {
+		t.Fatalf("GC reclaimed %d versions under an active snapshot", n)
+	}
+	if v, _ := readVal(t, snap, tbl, 1); v != 0 {
+		t.Fatal("snapshot lost its version")
+	}
+	mustCommit(t, snap)
+	total := 0
+	for {
+		n := e.CollectGarbage(0)
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("reclaimed %d after snapshot ended, want 10", total)
+	}
+}

@@ -1,0 +1,250 @@
+package mv
+
+import (
+	"repro/internal/field"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// acquireReadLock takes a read lock on version v for tx (Section 4.2.1).
+// Read locks are only ever taken on latest versions. If v is write locked
+// and this is the first read lock, the write locker acquires a wait-for
+// dependency: it may not precommit until the lock is released.
+func (tx *Tx) acquireReadLock(v *storage.Version) error {
+	for {
+		w := v.End()
+		if field.IsTS(w) {
+			if field.TS(w) != field.Infinity {
+				// The version was committed-replaced between the visibility
+				// check and lock acquisition; it is no longer the latest.
+				return ErrReadLockFailed
+			}
+			if v.CASEnd(w, field.Lock(field.NoWriter, 1, false)) {
+				tx.recordReadLock(v)
+				return nil
+			}
+			continue
+		}
+		// Lock word.
+		if field.NoMoreReadLocks(w) || field.Readers(w) == field.MaxReadLocks {
+			return ErrReadLockFailed
+		}
+		writer := field.Writer(w)
+		if writer != field.NoWriter && writer != tx.T.ID && field.Readers(w) == 0 {
+			// First read lock on a write-locked version: force the writer
+			// to wait on V before it can precommit.
+			te, ok := tx.e.txns.Lookup(writer)
+			if !ok {
+				continue // writer finalizing; word about to change
+			}
+			if te.State() == txn.Aborted {
+				// The writer aborted; no dependency needed, the lock word
+				// will be reset or stolen. Just take the read lock.
+				if v.CASEnd(w, field.WithReaders(w, 1)) {
+					tx.recordReadLock(v)
+					return nil
+				}
+				continue
+			}
+			if !te.AddWaitFor() {
+				// The writer no longer accepts wait-for dependencies (it is
+				// about to precommit): the lock cannot guarantee stability.
+				return ErrReadLockFailed
+			}
+			if v.CASEnd(w, field.WithReaders(w, 1)) {
+				tx.recordReadLock(v)
+				return nil
+			}
+			// Lost the race; undo the dependency and retry.
+			te.ReleaseWaitFor()
+			continue
+		}
+		if v.CASEnd(w, field.WithReaders(w, field.Readers(w)+1)) {
+			tx.recordReadLock(v)
+			return nil
+		}
+	}
+}
+
+func (tx *Tx) recordReadLock(v *storage.Version) {
+	tx.tookLocks = true
+	tx.T.RecordReadLock(v)
+}
+
+// releaseReadLock drops one read lock (Section 4.2.1). Releasing the last
+// read lock on a write-locked version atomically sets NoMoreReadLocks — so
+// the writer's commit cannot be postponed again — and then releases the
+// writer's wait-for dependency.
+func (tx *Tx) releaseReadLock(v *storage.Version) {
+	for {
+		w := v.End()
+		if !field.IsLock(w) {
+			return // already finalized (defensive; cannot happen while we hold a lock)
+		}
+		r := field.Readers(w)
+		if r <= 0 {
+			return // defensive
+		}
+		if field.HasWriter(w) && r == 1 {
+			nw := field.WithNoMore(field.WithReaders(w, 0), true)
+			if v.CASEnd(w, nw) {
+				if te, ok := tx.e.txns.Lookup(field.Writer(w)); ok {
+					te.ReleaseWaitFor()
+				}
+				return
+			}
+			continue
+		}
+		nw := field.WithReaders(w, r-1)
+		if !field.HasWriter(nw) && field.Readers(nw) == 0 {
+			// Fully unlocked: restore the canonical infinity timestamp.
+			// This also clears a stale NoMoreReadLocks flag left behind by
+			// an aborted writer, so future read locks are possible again.
+			nw = field.FromTS(field.Infinity)
+		}
+		if v.CASEnd(w, nw) {
+			return
+		}
+	}
+}
+
+// releaseAllReadLocks releases every read lock held by tx. Called at the end
+// of normal processing, before waiting on wait-for dependencies.
+func (tx *Tx) releaseAllReadLocks() {
+	if !tx.tookLocks {
+		return
+	}
+	tx.tookLocks = false
+	for _, v := range tx.T.TakeReadLocks() {
+		tx.releaseReadLock(v)
+	}
+}
+
+// installWriteLock atomically stores tx's ID in V's End word, the combined
+// "write lock + updater identity" of Section 2.6. It returns whether the
+// version was read locked at that instant (the caller then owes itself a
+// wait-for dependency) and an error on write-write conflict.
+func (tx *Tx) installWriteLock(v *storage.Version) (wasReadLocked bool, err error) {
+	for {
+		w := v.End()
+		if field.IsTS(w) {
+			if field.TS(w) != field.Infinity {
+				// A committed update already ended this version: it is not
+				// the latest.
+				return false, ErrWriteConflict
+			}
+			if v.CASEnd(w, field.Lock(tx.T.ID, 0, false)) {
+				return false, nil
+			}
+			continue
+		}
+		writer := field.Writer(w)
+		if writer == field.NoWriter {
+			// Read locked only. Eager update: allowed, but tx cannot
+			// precommit until the read locks drain.
+			if field.Readers(w) > 0 && tx.e.cfg.DisableEagerUpdates {
+				return false, ErrWriteConflict
+			}
+			if v.CASEnd(w, field.WithWriter(w, tx.T.ID)) {
+				return field.Readers(w) > 0, nil
+			}
+			continue
+		}
+		if writer == tx.T.ID {
+			// Double update of the same old version within one transaction:
+			// the correct target is our new version; treat as a conflict.
+			return false, ErrWriteConflict
+		}
+		te, ok := tx.e.txns.Lookup(writer)
+		if !ok {
+			continue // finalizing; reread
+		}
+		switch te.State() {
+		case txn.Aborted:
+			// The updater aborted: V is still the latest version and its
+			// write lock can be stolen (Section 2.6).
+			if v.CASEnd(w, field.WithWriter(w, tx.T.ID)) {
+				return field.Readers(w) > 0, nil
+			}
+			continue
+		case txn.Terminated:
+			continue
+		default:
+			// Active, Preparing or Committed: a later, not-yet-finalized
+			// version exists. First-writer-wins: tx must abort.
+			return false, ErrWriteConflict
+		}
+	}
+}
+
+// lockBucket takes a bucket lock for a serializable pessimistic scan
+// (Section 4.1.2). Locks are idempotent per transaction.
+func (tx *Tx) lockBucket(b *storage.Bucket) {
+	for _, held := range tx.bucketLocks {
+		if held == b {
+			return
+		}
+	}
+	tx.e.blt.Acquire(b, tx.T.ID)
+	tx.bucketLocks = append(tx.bucketLocks, b)
+}
+
+// releaseBucketLocks releases all bucket locks at the end of normal
+// processing.
+func (tx *Tx) releaseBucketLocks() {
+	for _, b := range tx.bucketLocks {
+		tx.e.blt.Release(b, tx.T.ID)
+	}
+	tx.bucketLocks = nil
+}
+
+// bucketInsertDeps is called when tx adds a new version to bucket b: if the
+// bucket is locked by serializable transactions, tx takes a wait-for
+// dependency on each holder — it may insert eagerly, but cannot precommit
+// before they complete (Section 4.2.2).
+func (tx *Tx) bucketInsertDeps(b *storage.Bucket) error {
+	if b.LockCount() == 0 {
+		return nil
+	}
+	if tx.e.cfg.DisableEagerUpdates {
+		return ErrWriteConflict
+	}
+	for _, hid := range tx.e.blt.Holders(b) {
+		if hid == tx.T.ID {
+			continue // our own scan lock; our inserts are visible to us
+		}
+		holder, ok := tx.e.txns.Lookup(hid)
+		if !ok {
+			continue // holder finished
+		}
+		if !tx.T.AddWaitFor() {
+			return ErrWaitForRefused
+		}
+		if !holder.RegisterWaiter(tx.T.ID) {
+			// The holder already released its outgoing dependencies (it has
+			// precommitted); it no longer needs phantom protection.
+			tx.T.ReleaseWaitFor()
+		}
+	}
+	return nil
+}
+
+// imposePhantomDep is called when a serializable pessimistic scan encounters
+// an invisible version created by a still-active transaction TU: if TU
+// commits before tx completes, the version becomes a phantom. tx registers a
+// wait-for dependency on TU's behalf — TU may not precommit until tx has
+// completed (Section 4.2.2).
+func (tx *Tx) imposePhantomDep(tu *txn.Txn) error {
+	if tu.ID == tx.T.ID {
+		return nil
+	}
+	if !tu.AddWaitFor() {
+		// TU is already precommitting; we cannot delay it, so we cannot
+		// guarantee phantom avoidance.
+		return ErrPhantomRisk
+	}
+	if !tx.T.RegisterWaiter(tu.ID) {
+		tu.ReleaseWaitFor() // we are past release (cannot happen while active)
+	}
+	return nil
+}

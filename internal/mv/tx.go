@@ -1,0 +1,341 @@
+package mv
+
+import (
+	"repro/internal/field"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Pred is a residual predicate evaluated on candidate payloads during an
+// index scan (the Pr of Section 3.1). A nil Pred matches everything. The
+// payload must not be modified or retained.
+type Pred func(payload []byte) bool
+
+// scanRecord remembers enough about a scan to repeat it during validation
+// (the ScanSet of Section 3).
+type scanRecord struct {
+	table *storage.Table
+	ix    *storage.Index
+	key   uint64
+	pred  Pred
+}
+
+// writeRec is one WriteSet entry: pointers to the old and new versions of an
+// update, the old version of a delete, or the new version of an insert.
+type writeRec struct {
+	table *storage.Table
+	old   *storage.Version
+	newV  *storage.Version
+	op    wal.Op
+	key   uint64 // primary-index key, for the log record
+}
+
+// Tx is a multiversion transaction. It is owned by a single goroutine; other
+// transactions interact with it only through its embedded txn.Txn.
+type Tx struct {
+	// T is the scheme-independent transaction object (states, timestamps,
+	// dependencies). Exposed for tests and the facade.
+	T *txn.Txn
+
+	e      *Engine
+	scheme Scheme
+	iso    Isolation
+	done   bool
+
+	readSet     []*storage.Version
+	scanSet     []scanRecord
+	writeSet    []writeRec
+	bucketLocks []*storage.Bucket
+
+	// tookLocks is an owner-only fast path: true once the transaction has
+	// acquired any read lock (the locks themselves live on T so the
+	// deadlock detector can see them).
+	tookLocks bool
+}
+
+// Scheme returns the transaction's concurrency control scheme.
+func (tx *Tx) Scheme() Scheme { return tx.scheme }
+
+// Iso returns the transaction's isolation level.
+func (tx *Tx) Iso() Isolation { return tx.iso }
+
+// readTime returns the logical read time for the next read (Sections 3.1,
+// 3.4, 4.3.1): optimistic transactions read as of their begin time except at
+// read committed; pessimistic transactions read the latest version (current
+// time) except under snapshot isolation.
+func (tx *Tx) readTime() uint64 {
+	if tx.scheme == Optimistic {
+		if tx.iso == ReadCommitted {
+			return tx.e.oracle.Current()
+		}
+		return tx.T.Begin
+	}
+	if tx.iso == SnapshotIsolation {
+		return tx.T.Begin
+	}
+	return tx.e.oracle.Current()
+}
+
+func (tx *Tx) checkUsable() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.T.AbortRequested() {
+		return ErrAborted
+	}
+	return nil
+}
+
+// isLatest reports whether v is the latest version of its record: its End
+// word is infinity or a lock word (uncommitted writer and/or read locks).
+func isLatest(v *storage.Version) bool {
+	w := v.End()
+	return field.IsLock(w) || field.TS(w) == field.Infinity
+}
+
+// Scan iterates the versions in index indexOrd matching key and pred that
+// are visible to tx, applying the isolation level's bookkeeping: optimistic
+// serializable scans are recorded for phantom rescans; pessimistic
+// serializable scans bucket-lock; repeatable-read and serializable reads are
+// read-locked (pessimistic) or read-set tracked (optimistic). fn returning
+// false stops the scan. If Scan returns a non-nil error the transaction must
+// be aborted.
+func (tx *Tx) Scan(t *storage.Table, indexOrd int, key uint64, pred Pred, fn func(v *storage.Version) bool) error {
+	return tx.scan(t, indexOrd, key, pred, false, func(v *storage.Version) (bool, error) {
+		return fn(v), nil
+	})
+}
+
+func (tx *Tx) scan(t *storage.Table, indexOrd int, key uint64, pred Pred, forUpdate bool, fn func(*storage.Version) (bool, error)) error {
+	if err := tx.checkUsable(); err != nil {
+		return err
+	}
+	ix := t.Index(indexOrd)
+	ser := tx.iso == Serializable
+	b := ix.Bucket(key)
+	if ser {
+		if tx.scheme == Optimistic {
+			// Register the scan so it can be repeated during validation
+			// (start-scan step of Section 3.1).
+			tx.scanSet = append(tx.scanSet, scanRecord{t, ix, key, pred})
+		} else {
+			// Bucket lock for phantom protection (Section 4.1.2).
+			tx.lockBucket(b)
+		}
+	}
+	rt := tx.readTime()
+	for v := b.Head(); v != nil; v = v.Next(indexOrd) {
+		if v.Key(indexOrd) != key {
+			continue
+		}
+		if pred != nil && !pred(v.Payload) {
+			continue
+		}
+		vis, err := tx.isVisible(v, rt)
+		if err != nil {
+			return err
+		}
+		if !vis {
+			if ser && tx.scheme == Pessimistic {
+				// A version satisfying the predicate but not visible may be
+				// an uncommitted insert: a potential phantom (Section
+				// 4.2.2).
+				if err := tx.phantomGuard(v, rt); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if !forUpdate && (tx.iso == RepeatableRead || ser) {
+			if tx.scheme == Optimistic {
+				tx.readSet = append(tx.readSet, v)
+			} else if isLatest(v) {
+				// Read locks are only needed on latest versions; older
+				// versions have immutable valid intervals (Section 4.1.1).
+				if err := tx.acquireReadLock(v); err != nil {
+					tx.e.lockFailures.Add(1)
+					return err
+				}
+			}
+		}
+		cont, err := fn(v)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			break
+		}
+	}
+	return nil
+}
+
+// phantomGuard handles an invisible, predicate-matching version during a
+// serializable pessimistic scan. If the version is an uncommitted insert by
+// an active transaction TU, tx imposes a wait-for dependency so TU cannot
+// commit (and create a phantom) before tx completes. If TU is already
+// committing, the phantom can no longer be prevented and tx aborts.
+func (tx *Tx) phantomGuard(v *storage.Version, rt uint64) error {
+	for {
+		bw := v.Begin()
+		var effBegin uint64
+		if field.IsTS(bw) {
+			effBegin = field.TS(bw)
+			if effBegin == field.Infinity {
+				return nil // aborted garbage
+			}
+		} else {
+			tbID := field.TxID(bw)
+			if tbID == tx.T.ID {
+				return nil // our own insert
+			}
+			tb, ok := tx.e.txns.Lookup(tbID)
+			if !ok {
+				continue // finalizing; reread
+			}
+			switch tb.State() {
+			case txn.Active:
+				return tx.imposePhantomDep(tb)
+			case txn.Preparing, txn.Committed:
+				effBegin = tb.End()
+				if effBegin == 0 {
+					continue
+				}
+			case txn.Aborted:
+				return nil
+			default:
+				continue
+			}
+		}
+		if effBegin <= rt {
+			// The version began at or before our read time: it is invisible
+			// because it already ended, which will remain true at our end
+			// timestamp. Not a phantom.
+			return nil
+		}
+		// The version begins after our read time. If it has already ended
+		// with a committed timestamp it cannot be visible at our (larger)
+		// end timestamp either; otherwise it would surface as a phantom and
+		// we cannot delay its creator any more.
+		ew := v.End()
+		if field.IsTS(ew) && field.TS(ew) != field.Infinity {
+			return nil
+		}
+		return ErrPhantomRisk
+	}
+}
+
+// Lookup returns the first visible version matching key and pred in index
+// indexOrd, applying the same bookkeeping as Scan.
+func (tx *Tx) Lookup(t *storage.Table, indexOrd int, key uint64, pred Pred) (*storage.Version, bool, error) {
+	var found *storage.Version
+	err := tx.Scan(t, indexOrd, key, pred, func(v *storage.Version) bool {
+		found = v
+		return false
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return found, found != nil, nil
+}
+
+// Insert creates a brand-new record version and links it into every index of
+// the table. The version becomes visible to others only when tx commits.
+func (tx *Tx) Insert(t *storage.Table, payload []byte) error {
+	if err := tx.checkUsable(); err != nil {
+		return err
+	}
+	v := storage.NewVersion(payload, t.NumIndexes(), field.FromTxID(tx.T.ID), infinityWord)
+	// Inserting into a locked bucket is allowed, but then tx cannot
+	// precommit until the lock holders have completed (Section 4.2.2). This
+	// applies to optimistic transactions too: honoring bucket locks is what
+	// lets the two schemes coexist (Section 4.5).
+	for ord := 0; ord < t.NumIndexes(); ord++ {
+		ix := t.Index(ord)
+		if err := tx.bucketInsertDeps(ix.Bucket(ix.Key(payload))); err != nil {
+			return err
+		}
+	}
+	t.Insert(v)
+	tx.writeSet = append(tx.writeSet, writeRec{t, nil, v, wal.OpInsert, t.Index(0).Key(payload)})
+	return nil
+}
+
+// Update replaces old (a version obtained from Lookup/Scan in this
+// transaction) with a new version carrying newPayload. On a write-write
+// conflict the first-writer-wins rule applies and ErrWriteConflict is
+// returned; the transaction must then abort.
+func (tx *Tx) Update(t *storage.Table, old *storage.Version, newPayload []byte) error {
+	if err := tx.checkUsable(); err != nil {
+		return err
+	}
+	wasReadLocked, err := tx.installWriteLock(old)
+	if err != nil {
+		tx.e.writeConflicts.Add(1)
+		return err
+	}
+	if wasReadLocked {
+		// Eager update of a read-locked version: tx waits (at precommit)
+		// until all read locks on the version are released (Section 4.2.1).
+		tx.T.AddWaitFor()
+	}
+	nv := storage.NewVersion(newPayload, t.NumIndexes(), field.FromTxID(tx.T.ID), infinityWord)
+	for ord := 0; ord < t.NumIndexes(); ord++ {
+		ix := t.Index(ord)
+		if err := tx.bucketInsertDeps(ix.Bucket(ix.Key(newPayload))); err != nil {
+			return err
+		}
+	}
+	t.Insert(nv)
+	tx.writeSet = append(tx.writeSet, writeRec{t, old, nv, wal.OpUpdate, t.Index(0).Key(newPayload)})
+	return nil
+}
+
+// Delete removes the record whose latest version is old: an update that
+// creates no new version (Section 3.1).
+func (tx *Tx) Delete(t *storage.Table, old *storage.Version) error {
+	if err := tx.checkUsable(); err != nil {
+		return err
+	}
+	wasReadLocked, err := tx.installWriteLock(old)
+	if err != nil {
+		tx.e.writeConflicts.Add(1)
+		return err
+	}
+	if wasReadLocked {
+		tx.T.AddWaitFor()
+	}
+	tx.writeSet = append(tx.writeSet, writeRec{t, old, nil, wal.OpDelete, t.Index(0).Key(old.Payload)})
+	return nil
+}
+
+// UpdateWhere scans index indexOrd for visible versions matching key and
+// pred and replaces each with mut(old payload). It returns the number of
+// rows updated. Update-intent scans take no read locks and record no reads:
+// the write lock itself stabilizes the version (Section 3.1's
+// check-updatability path).
+func (tx *Tx) UpdateWhere(t *storage.Table, indexOrd int, key uint64, pred Pred, mut func(old []byte) []byte) (int, error) {
+	n := 0
+	err := tx.scan(t, indexOrd, key, pred, true, func(v *storage.Version) (bool, error) {
+		if err := tx.Update(t, v, mut(v.Payload)); err != nil {
+			return false, err
+		}
+		n++
+		return true, nil
+	})
+	return n, err
+}
+
+// DeleteWhere scans index indexOrd for visible versions matching key and
+// pred and deletes each. It returns the number of rows deleted.
+func (tx *Tx) DeleteWhere(t *storage.Table, indexOrd int, key uint64, pred Pred) (int, error) {
+	n := 0
+	err := tx.scan(t, indexOrd, key, pred, true, func(v *storage.Version) (bool, error) {
+		if err := tx.Delete(t, v); err != nil {
+			return false, err
+		}
+		n++
+		return true, nil
+	})
+	return n, err
+}

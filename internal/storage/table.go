@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// KeyFunc extracts the index key from a record payload. Payload layouts are
+// application-defined; the engine only needs a 64-bit key per index.
+type KeyFunc func(payload []byte) uint64
+
+// IndexSpec describes one hash index of a table.
+type IndexSpec struct {
+	// Name identifies the index for lookups and diagnostics.
+	Name string
+	// Key extracts the index key from a payload.
+	Key KeyFunc
+	// Buckets is the hash table size; it is rounded up to a power of two.
+	// The paper sizes hash tables so there are no collisions; callers should
+	// pass at least the expected row count.
+	Buckets int
+}
+
+// TableSpec describes a table and its indexes.
+type TableSpec struct {
+	Name    string
+	Indexes []IndexSpec
+}
+
+// Table is a collection of versions reachable through one or more hash
+// indexes. A table has no heap: records are always accessed via an index
+// (Section 2.1).
+type Table struct {
+	Name    string
+	indexes []*Index
+}
+
+// NewTable builds a table from its spec.
+func NewTable(spec TableSpec) (*Table, error) {
+	if len(spec.Indexes) == 0 {
+		return nil, fmt.Errorf("storage: table %q needs at least one index", spec.Name)
+	}
+	t := &Table{Name: spec.Name}
+	for ord, is := range spec.Indexes {
+		if is.Key == nil {
+			return nil, fmt.Errorf("storage: table %q index %q has no key function", spec.Name, is.Name)
+		}
+		t.indexes = append(t.indexes, newIndex(ord, is))
+	}
+	return t, nil
+}
+
+// NumIndexes returns the number of indexes on the table.
+func (t *Table) NumIndexes() int { return len(t.indexes) }
+
+// Index returns the index with ordinal ord.
+func (t *Table) Index(ord int) *Index { return t.indexes[ord] }
+
+// IndexByName returns the index with the given name.
+func (t *Table) IndexByName(name string) (*Index, bool) {
+	for _, ix := range t.indexes {
+		if ix.spec.Name == name {
+			return ix, true
+		}
+	}
+	return nil, false
+}
+
+// Insert links v into every index of the table, caching the index keys in
+// the version. The version must have been allocated for this table's index
+// count.
+func (t *Table) Insert(v *Version) {
+	for _, ix := range t.indexes {
+		v.setKey(ix.ord, ix.spec.Key(v.Payload))
+	}
+	for _, ix := range t.indexes {
+		ix.insert(v)
+	}
+}
+
+// Unlink removes v from every index. It returns false if the version was
+// already unlinked (the garbage collector calls this at most once per
+// version, but defensive callers may race).
+func (t *Table) Unlink(v *Version) bool {
+	if !v.MarkUnlinked() {
+		return false
+	}
+	for _, ix := range t.indexes {
+		ix.unlink(v)
+	}
+	return true
+}
+
+// Index is a hash index over a table. Bucket chains are singly linked
+// through the versions' per-index next pointers; readers follow them with
+// atomic loads only.
+type Index struct {
+	ord     int
+	spec    IndexSpec
+	mask    uint64
+	buckets []Bucket
+}
+
+func newIndex(ord int, spec IndexSpec) *Index {
+	n := 1
+	for n < spec.Buckets {
+		n <<= 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	return &Index{ord: ord, spec: spec, mask: uint64(n - 1), buckets: make([]Bucket, n)}
+}
+
+// Ord returns the index ordinal within its table.
+func (ix *Index) Ord() int { return ix.ord }
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.spec.Name }
+
+// NumBuckets returns the hash table size.
+func (ix *Index) NumBuckets() int { return len(ix.buckets) }
+
+// Key extracts this index's key from a payload.
+func (ix *Index) Key(payload []byte) uint64 { return ix.spec.Key(payload) }
+
+// mix is a 64-bit finalizer (splitmix64) spreading sequential keys across
+// buckets.
+func mix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xBF58476D1CE4E5B9
+	k ^= k >> 27
+	k *= 0x94D049BB133111EB
+	k ^= k >> 31
+	return k
+}
+
+// Bucket returns the bucket for key.
+func (ix *Index) Bucket(key uint64) *Bucket {
+	return &ix.buckets[mix(key)&ix.mask]
+}
+
+// BucketAt returns bucket i; scans over whole tables walk all buckets of one
+// index (Section 2.1: "to scan a table, one simply scans all buckets of any
+// index on the table").
+func (ix *Index) BucketAt(i int) *Bucket { return &ix.buckets[i] }
+
+func (ix *Index) insert(v *Version) {
+	b := ix.Bucket(v.Key(ix.ord))
+	b.mu.Lock()
+	v.setNext(ix.ord, b.head.Load())
+	b.head.Store(v)
+	b.mu.Unlock()
+}
+
+func (ix *Index) unlink(v *Version) {
+	b := ix.Bucket(v.Key(ix.ord))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur := b.head.Load()
+	if cur == v {
+		b.head.Store(v.Next(ix.ord))
+		return
+	}
+	for cur != nil {
+		next := cur.Next(ix.ord)
+		if next == v {
+			cur.setNext(ix.ord, v.Next(ix.ord))
+			return
+		}
+		cur = next
+	}
+}
+
+// Bucket is one hash chain head. Readers call Head and Version.Next with no
+// locking; the mutex serializes inserts and unlinks only. lockCount is the
+// bucket-lock counter of Section 4.1.2, stored in the bucket so scans can
+// check for locks cheaply.
+type Bucket struct {
+	mu        sync.Mutex
+	head      atomic.Pointer[Version]
+	lockCount atomic.Int32
+}
+
+// Head returns the first version in the bucket chain.
+func (b *Bucket) Head() *Version { return b.head.Load() }
+
+// LockCount returns the number of bucket locks currently held.
+func (b *Bucket) LockCount() int { return int(b.lockCount.Load()) }
+
+// IncLocks increments the bucket lock counter.
+func (b *Bucket) IncLocks() { b.lockCount.Add(1) }
+
+// DecLocks decrements the bucket lock counter.
+func (b *Bucket) DecLocks() { b.lockCount.Add(-1) }

@@ -1,0 +1,137 @@
+// Package storage implements the multiversion storage structures of
+// Section 2: versioned records, tables with multiple hash indexes, and the
+// bucket-lock table used by pessimistic serializable transactions.
+//
+// Records are only reachable through index lookups (Section 2.1). Every
+// version carries a Begin and End word (see internal/field) and one hash
+// chain pointer per index on its table, exactly like the record format of
+// Figure 1. Readers traverse bucket chains without taking any latches;
+// structural changes (insert, garbage-collection unlink) take a short
+// per-bucket latch.
+package storage
+
+import (
+	"sync/atomic"
+
+	"repro/internal/field"
+)
+
+// Version is one version of a record. The payload is immutable after
+// creation; updates create new versions (Section 2.3).
+//
+// The chain pointers and cached index keys for the first two indexes live
+// inline in the struct — scans touch one cache line per version — with a
+// spill slice for tables with more indexes.
+type Version struct {
+	begin atomic.Uint64
+	end   atomic.Uint64
+	// Payload is the record's user data. It must not be modified after the
+	// version is installed in an index.
+	Payload []byte
+
+	next0, next1 atomic.Pointer[Version]
+	key0, key1   uint64
+	nextX        []atomic.Pointer[Version]
+	keysX        []uint64
+
+	// unlinked is set once the version has been removed from every index by
+	// the garbage collector, guarding against double unlinks.
+	unlinked atomic.Bool
+}
+
+// NewVersion allocates a version with room for chains in nindexes indexes.
+// The Begin and End words start as the given values.
+func NewVersion(payload []byte, nindexes int, begin, end uint64) *Version {
+	v := &Version{Payload: payload}
+	if nindexes > 2 {
+		v.nextX = make([]atomic.Pointer[Version], nindexes-2)
+		v.keysX = make([]uint64, nindexes-2)
+	}
+	v.begin.Store(begin)
+	v.end.Store(end)
+	return v
+}
+
+// Begin loads the Begin word.
+func (v *Version) Begin() uint64 { return v.begin.Load() }
+
+// End loads the End word.
+func (v *Version) End() uint64 { return v.end.Load() }
+
+// SetBegin stores the Begin word. Only the transaction that owns the
+// version (its creator) finalizes Begin, so a plain store suffices.
+func (v *Version) SetBegin(w uint64) { v.begin.Store(w) }
+
+// SetEnd stores the End word unconditionally. Used only during
+// single-threaded setup and recovery; concurrent mutation goes through
+// CASEnd.
+func (v *Version) SetEnd(w uint64) { v.end.Store(w) }
+
+// CASEnd atomically replaces the End word if it still equals old. All
+// concurrent End-word transitions (write locking, read locking, lock
+// release, timestamp finalization) go through this.
+func (v *Version) CASEnd(old, new uint64) bool { return v.end.CompareAndSwap(old, new) }
+
+// Next returns the successor of v in index ord's bucket chain.
+func (v *Version) Next(ord int) *Version {
+	switch ord {
+	case 0:
+		return v.next0.Load()
+	case 1:
+		return v.next1.Load()
+	default:
+		return v.nextX[ord-2].Load()
+	}
+}
+
+// setNext stores the successor pointer; callers hold the bucket latch.
+func (v *Version) setNext(ord int, n *Version) {
+	switch ord {
+	case 0:
+		v.next0.Store(n)
+	case 1:
+		v.next1.Store(n)
+	default:
+		v.nextX[ord-2].Store(n)
+	}
+}
+
+// Key returns the cached index key for index ord.
+func (v *Version) Key(ord int) uint64 {
+	switch ord {
+	case 0:
+		return v.key0
+	case 1:
+		return v.key1
+	default:
+		return v.keysX[ord-2]
+	}
+}
+
+// setKey caches the index key; called once by Table.Insert before linking.
+func (v *Version) setKey(ord int, k uint64) {
+	switch ord {
+	case 0:
+		v.key0 = k
+	case 1:
+		v.key1 = k
+	default:
+		v.keysX[ord-2] = k
+	}
+}
+
+// MarkUnlinked flips the version into the unlinked state, returning false if
+// it was already unlinked.
+func (v *Version) MarkUnlinked() bool { return v.unlinked.CompareAndSwap(false, true) }
+
+// IsGarbage reports whether the version can never be visible again given the
+// oldest active read time: its valid time ended before the watermark, or it
+// belongs to an aborted transaction (begin infinity).
+func (v *Version) IsGarbage(watermark uint64) bool {
+	b := v.Begin()
+	if field.IsTS(b) && field.TS(b) == field.Infinity {
+		return true // aborted creator marked it invisible
+	}
+	e := v.End()
+	return field.IsTS(e) && field.TS(e) <= watermark && field.TS(e) != field.Infinity
+}

@@ -1,0 +1,186 @@
+package sv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Config controls the single-version engine.
+type Config struct {
+	// Log, when non-nil, receives a redo record per committed writer.
+	Log *wal.Log
+	// LockTimeout bounds lock waits; expiry aborts the transaction,
+	// breaking deadlocks (default 25ms).
+	LockTimeout time.Duration
+}
+
+// Stats aggregates engine-wide counters.
+type Stats struct {
+	Commits      uint64
+	Aborts       uint64
+	LockTimeouts uint64
+}
+
+// Engine is the single-version locking storage engine ("1V").
+type Engine struct {
+	cfg    Config
+	txSeq  atomic.Uint64
+	endSeq atomic.Uint64
+
+	tablesMu sync.RWMutex
+	tables   map[string]*Table
+
+	commits  atomic.Uint64
+	aborts   atomic.Uint64
+	timeouts atomic.Uint64
+}
+
+// NewEngine constructs a single-version engine.
+func NewEngine(cfg Config) *Engine {
+	if cfg.LockTimeout <= 0 {
+		cfg.LockTimeout = 25 * time.Millisecond
+	}
+	return &Engine{cfg: cfg, tables: make(map[string]*Table)}
+}
+
+// Close closes the attached log, if any.
+func (e *Engine) Close() error {
+	if e.cfg.Log != nil {
+		return e.cfg.Log.Close()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Commits:      e.commits.Load(),
+		Aborts:       e.aborts.Load(),
+		LockTimeouts: e.timeouts.Load(),
+	}
+}
+
+// Table is a single-version table: records linked into one bucket chain per
+// index, with the lock table embedded in the buckets.
+type Table struct {
+	Name    string
+	indexes []*index
+}
+
+type index struct {
+	ord     int
+	spec    storage.IndexSpec
+	mask    uint64
+	buckets []bucket
+}
+
+type bucket struct {
+	lock keyLock
+	head *Record
+}
+
+// Record is a single-version record. Payload and chain pointers are read
+// under the covering buckets' shared locks and written under exclusive
+// locks.
+type Record struct {
+	payload []byte
+	keys    []uint64 // cached index keys, kept in sync with payload
+	deleted bool
+	next    []*Record
+}
+
+// Payload returns the record's current payload. The caller must be holding
+// the covering lock (i.e. be inside a scan callback or own the record's
+// exclusive lock); the slice must not be modified.
+func (r *Record) Payload() []byte { return r.payload }
+
+func mix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xBF58476D1CE4E5B9
+	k ^= k >> 27
+	k *= 0x94D049BB133111EB
+	k ^= k >> 31
+	return k
+}
+
+func (ix *index) bucket(key uint64) *bucket {
+	return &ix.buckets[mix(key)&ix.mask]
+}
+
+// CreateTable registers a new table.
+func (e *Engine) CreateTable(spec storage.TableSpec) (*Table, error) {
+	if len(spec.Indexes) == 0 {
+		return nil, fmt.Errorf("sv: table %q needs at least one index", spec.Name)
+	}
+	t := &Table{Name: spec.Name}
+	for ord, is := range spec.Indexes {
+		if is.Key == nil {
+			return nil, fmt.Errorf("sv: table %q index %q has no key function", spec.Name, is.Name)
+		}
+		n := 1
+		for n < is.Buckets {
+			n <<= 1
+		}
+		t.indexes = append(t.indexes, &index{
+			ord:     ord,
+			spec:    is,
+			mask:    uint64(n - 1),
+			buckets: make([]bucket, n),
+		})
+	}
+	e.tablesMu.Lock()
+	e.tables[spec.Name] = t
+	e.tablesMu.Unlock()
+	return t, nil
+}
+
+// Table returns a table by name.
+func (e *Engine) Table(name string) (*Table, bool) {
+	e.tablesMu.RLock()
+	defer e.tablesMu.RUnlock()
+	t, ok := e.tables[name]
+	return t, ok
+}
+
+// LoadRow inserts a record without locking. Single-threaded bulk load only.
+func (e *Engine) LoadRow(t *Table, payload []byte) {
+	r := &Record{
+		payload: payload,
+		keys:    make([]uint64, len(t.indexes)),
+		next:    make([]*Record, len(t.indexes)),
+	}
+	for _, ix := range t.indexes {
+		r.keys[ix.ord] = ix.spec.Key(payload)
+		b := ix.bucket(r.keys[ix.ord])
+		r.next[ix.ord] = b.head
+		b.head = r
+	}
+}
+
+// link adds r to ix's chain; the caller holds the bucket's exclusive lock.
+func (ix *index) link(r *Record) {
+	b := ix.bucket(r.keys[ix.ord])
+	r.next[ix.ord] = b.head
+	b.head = r
+}
+
+// unlink removes r from ix's chain under key; the caller holds the bucket's
+// exclusive lock.
+func (ix *index) unlink(r *Record, key uint64) {
+	b := ix.bucket(key)
+	if b.head == r {
+		b.head = r.next[ix.ord]
+		return
+	}
+	for cur := b.head; cur != nil; cur = cur.next[ix.ord] {
+		if cur.next[ix.ord] == r {
+			cur.next[ix.ord] = r.next[ix.ord]
+			return
+		}
+	}
+}

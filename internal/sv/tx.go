@@ -1,0 +1,403 @@
+package sv
+
+import (
+	"errors"
+
+	"repro/internal/iso"
+	"repro/internal/wal"
+)
+
+// Pred is a residual predicate on record payloads; nil matches everything.
+type Pred func(payload []byte) bool
+
+var (
+	// ErrTxDone is returned when operating on a finished transaction.
+	ErrTxDone = errors.New("sv: transaction already finished")
+	// ErrConflict is returned when a record changed identity under the
+	// transaction (deleted or relocated between lookup and update).
+	ErrConflict = errors.New("sv: record conflict")
+)
+
+type heldLock struct {
+	l    *keyLock
+	s, x int
+}
+
+type undoKind uint8
+
+const (
+	undoInsert undoKind = iota
+	undoUpdate
+	undoDelete
+)
+
+type undoRec struct {
+	kind       undoKind
+	t          *Table
+	r          *Record
+	oldPayload []byte
+	oldKeys    []uint64
+}
+
+// Tx is a single-version transaction: strict two-phase locking with
+// cursor-stability reads at read committed, in-place updates with undo.
+type Tx struct {
+	e    *Engine
+	id   uint64
+	iso  iso.Level
+	done bool
+
+	held   []heldLock
+	undo   []undoRec
+	writes []wal.Entry
+}
+
+// Begin starts a transaction. Snapshot isolation is not expressible in a
+// single-version engine; it is upgraded to repeatable read.
+func (e *Engine) Begin(level iso.Level) *Tx {
+	if level == iso.SnapshotIsolation {
+		level = iso.RepeatableRead
+	}
+	return &Tx{
+		e:   e,
+		id:  e.txSeq.Add(1),
+		iso: level,
+	}
+}
+
+func (tx *Tx) registered(l *keyLock) *heldLock {
+	for i := range tx.held {
+		if tx.held[i].l == l {
+			return &tx.held[i]
+		}
+	}
+	tx.held = append(tx.held, heldLock{l: l})
+	return &tx.held[len(tx.held)-1]
+}
+
+// lockS acquires and registers a shared lock held to commit.
+func (tx *Tx) lockS(l *keyLock) error {
+	if err := l.acquireS(tx.id, tx.e.cfg.LockTimeout); err != nil {
+		tx.e.timeouts.Add(1)
+		return err
+	}
+	tx.registered(l).s++
+	return nil
+}
+
+// lockX acquires and registers an exclusive lock held to commit. A
+// transaction that already holds shared locks on the same key upgrades.
+func (tx *Tx) lockX(l *keyLock) error {
+	heldS := tx.registered(l).s
+	if err := l.acquireX(tx.id, heldS, tx.e.cfg.LockTimeout); err != nil {
+		tx.e.timeouts.Add(1)
+		return err
+	}
+	tx.registered(l).x++
+	return nil
+}
+
+func (tx *Tx) releaseAll() {
+	for i := range tx.held {
+		h := &tx.held[i]
+		h.l.releaseBulk(tx.id, h.s, h.x > 0)
+	}
+	tx.held = nil
+}
+
+// Scan iterates the records in index indexOrd whose key equals key and whose
+// payload satisfies pred. The bucket's lock covers every record with the
+// hash key, so holding it to commit (repeatable read and above) provides
+// both read stability and phantom protection; at read committed the lock is
+// released when the scan ends (cursor stability). fn must not retain the
+// record or its payload beyond the callback unless the isolation level holds
+// the lock.
+func (tx *Tx) Scan(t *Table, indexOrd int, key uint64, pred Pred, fn func(*Record) bool) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	ix := t.indexes[indexOrd]
+	b := ix.bucket(key)
+	l := &b.lock
+	short := tx.iso == iso.ReadCommitted
+	if short {
+		if err := l.acquireS(tx.id, tx.e.cfg.LockTimeout); err != nil {
+			tx.e.timeouts.Add(1)
+			return err
+		}
+		defer l.releaseS(tx.id)
+	} else {
+		if err := tx.lockS(l); err != nil {
+			return err
+		}
+	}
+	for r := b.head; r != nil; r = r.next[indexOrd] {
+		if r.deleted || r.keys[indexOrd] != key {
+			continue
+		}
+		if pred != nil && !pred(r.payload) {
+			continue
+		}
+		if !fn(r) {
+			break
+		}
+	}
+	return nil
+}
+
+// Lookup returns the first matching record.
+func (tx *Tx) Lookup(t *Table, indexOrd int, key uint64, pred Pred) (*Record, bool, error) {
+	var found *Record
+	err := tx.Scan(t, indexOrd, key, pred, func(r *Record) bool {
+		found = r
+		return false
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return found, found != nil, nil
+}
+
+// Insert creates a record, exclusively locking and linking it into every
+// index bucket it hashes to. Readers of those buckets block until commit.
+func (tx *Tx) Insert(t *Table, payload []byte) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	r := &Record{
+		payload: payload,
+		keys:    make([]uint64, len(t.indexes)),
+		next:    make([]*Record, len(t.indexes)),
+	}
+	for _, ix := range t.indexes {
+		r.keys[ix.ord] = ix.spec.Key(payload)
+	}
+	for _, ix := range t.indexes {
+		if err := tx.lockX(&ix.bucket(r.keys[ix.ord]).lock); err != nil {
+			return err
+		}
+	}
+	for _, ix := range t.indexes {
+		ix.link(r)
+	}
+	tx.undo = append(tx.undo, undoRec{kind: undoInsert, t: t, r: r, oldKeys: append([]uint64(nil), r.keys...)})
+	tx.writes = append(tx.writes, wal.Entry{Table: t.Name, Op: wal.OpInsert, Key: r.keys[0], Payload: payload})
+	return nil
+}
+
+// lockRecordX exclusively locks every bucket covering r, verifying that r's
+// identity did not change while the locks were being acquired.
+func (tx *Tx) lockRecordX(t *Table, r *Record) ([]uint64, error) {
+	keys := append([]uint64(nil), r.keys...)
+	for _, ix := range t.indexes {
+		if err := tx.lockX(&ix.bucket(keys[ix.ord]).lock); err != nil {
+			return nil, err
+		}
+	}
+	for _, ix := range t.indexes {
+		if r.keys[ix.ord] != keys[ix.ord] {
+			return nil, ErrConflict // relocated concurrently; extremely rare
+		}
+	}
+	if r.deleted {
+		return nil, ErrConflict
+	}
+	return keys, nil
+}
+
+// Update overwrites r's payload in place, relocating it between buckets if
+// an index key changed.
+func (tx *Tx) Update(t *Table, r *Record, newPayload []byte) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	oldKeys, err := tx.lockRecordX(t, r)
+	if err != nil {
+		return err
+	}
+	newKeys := make([]uint64, len(t.indexes))
+	for _, ix := range t.indexes {
+		newKeys[ix.ord] = ix.spec.Key(newPayload)
+	}
+	// Lock destination buckets for any key change before relinking.
+	for _, ix := range t.indexes {
+		if newKeys[ix.ord] != oldKeys[ix.ord] {
+			if err := tx.lockX(&ix.bucket(newKeys[ix.ord]).lock); err != nil {
+				return err
+			}
+		}
+	}
+	tx.undo = append(tx.undo, undoRec{
+		kind:       undoUpdate,
+		t:          t,
+		r:          r,
+		oldPayload: r.payload,
+		oldKeys:    oldKeys,
+	})
+	for _, ix := range t.indexes {
+		if newKeys[ix.ord] != oldKeys[ix.ord] {
+			ix.unlink(r, oldKeys[ix.ord])
+		}
+	}
+	r.payload = newPayload
+	copy(r.keys, newKeys)
+	for _, ix := range t.indexes {
+		if newKeys[ix.ord] != oldKeys[ix.ord] {
+			ix.link(r)
+		}
+	}
+	tx.writes = append(tx.writes, wal.Entry{Table: t.Name, Op: wal.OpUpdate, Key: newKeys[0], Payload: newPayload})
+	return nil
+}
+
+// Delete marks r deleted; the record is physically unlinked at commit, while
+// the exclusive locks are still held.
+func (tx *Tx) Delete(t *Table, r *Record) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	oldKeys, err := tx.lockRecordX(t, r)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoRec{
+		kind:       undoDelete,
+		t:          t,
+		r:          r,
+		oldPayload: r.payload,
+		oldKeys:    oldKeys,
+	})
+	r.deleted = true
+	tx.writes = append(tx.writes, wal.Entry{Table: t.Name, Op: wal.OpDelete, Key: oldKeys[0]})
+	return nil
+}
+
+// UpdateWhere updates every matching record with mut(old payload), returning
+// the number updated.
+func (tx *Tx) UpdateWhere(t *Table, indexOrd int, key uint64, pred Pred, mut func(old []byte) []byte) (int, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	var targets []*Record
+	// Hold the bucket lock for the duration regardless of isolation: the
+	// scan feeds an update, so cursor stability must extend to the write.
+	ix := t.indexes[indexOrd]
+	l := &ix.bucket(key).lock
+	if err := tx.lockS(l); err != nil {
+		return 0, err
+	}
+	b := ix.bucket(key)
+	for r := b.head; r != nil; r = r.next[indexOrd] {
+		if r.deleted || r.keys[indexOrd] != key {
+			continue
+		}
+		if pred != nil && !pred(r.payload) {
+			continue
+		}
+		targets = append(targets, r)
+	}
+	for _, r := range targets {
+		if err := tx.Update(t, r, mut(r.payload)); err != nil {
+			return 0, err
+		}
+	}
+	return len(targets), nil
+}
+
+// DeleteWhere deletes every matching record, returning the number deleted.
+func (tx *Tx) DeleteWhere(t *Table, indexOrd int, key uint64, pred Pred) (int, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	var targets []*Record
+	ix := t.indexes[indexOrd]
+	l := &ix.bucket(key).lock
+	if err := tx.lockS(l); err != nil {
+		return 0, err
+	}
+	b := ix.bucket(key)
+	for r := b.head; r != nil; r = r.next[indexOrd] {
+		if r.deleted || r.keys[indexOrd] != key {
+			continue
+		}
+		if pred != nil && !pred(r.payload) {
+			continue
+		}
+		targets = append(targets, r)
+	}
+	for _, r := range targets {
+		if err := tx.Delete(t, r); err != nil {
+			return 0, err
+		}
+	}
+	return len(targets), nil
+}
+
+// Commit writes the redo record, physically removes deleted records (still
+// under their exclusive locks), and releases all locks.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	endTS := tx.e.endSeq.Add(1)
+	if tx.e.cfg.Log != nil && len(tx.writes) > 0 {
+		rec := &wal.Record{TxID: tx.id, EndTS: endTS, Ops: tx.writes}
+		if err := tx.e.cfg.Log.Append(rec); err != nil {
+			tx.rollback()
+			return err
+		}
+	}
+	for i := range tx.undo {
+		u := &tx.undo[i]
+		if u.kind == undoDelete {
+			for _, ix := range u.t.indexes {
+				ix.unlink(u.r, u.r.keys[ix.ord])
+			}
+		}
+	}
+	tx.releaseAll()
+	tx.done = true
+	tx.e.commits.Add(1)
+	return nil
+}
+
+// Abort rolls back all changes and releases all locks.
+func (tx *Tx) Abort() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.rollback()
+	return nil
+}
+
+func (tx *Tx) rollback() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := &tx.undo[i]
+		switch u.kind {
+		case undoInsert:
+			for _, ix := range u.t.indexes {
+				ix.unlink(u.r, u.r.keys[ix.ord])
+			}
+		case undoUpdate:
+			changed := make([]bool, len(u.t.indexes))
+			for _, ix := range u.t.indexes {
+				if u.r.keys[ix.ord] != u.oldKeys[ix.ord] {
+					changed[ix.ord] = true
+					ix.unlink(u.r, u.r.keys[ix.ord])
+				}
+			}
+			u.r.payload = u.oldPayload
+			copy(u.r.keys, u.oldKeys)
+			for _, ix := range u.t.indexes {
+				if changed[ix.ord] {
+					ix.link(u.r)
+				}
+			}
+		case undoDelete:
+			u.r.deleted = false
+		}
+	}
+	tx.releaseAll()
+	tx.done = true
+	tx.e.aborts.Add(1)
+}

@@ -1,0 +1,117 @@
+package txn
+
+import (
+	"sync"
+)
+
+const tableShards = 64
+
+// Table is the transaction table: a sharded map from transaction ID to
+// transaction object. Visibility checks look up the transactions whose IDs
+// appear in version Begin/End words; a missing entry means the transaction
+// has terminated and finalized its timestamps (Tables 1 and 2: "Terminated
+// or not found: reread the field").
+//
+// The table also tracks the set of active transactions so the garbage
+// collector can compute the oldest visible read time.
+type Table struct {
+	shards [tableShards]tableShard
+}
+
+type tableShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*Txn
+}
+
+// NewTable returns an empty transaction table.
+func NewTable() *Table {
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]*Txn)
+	}
+	return t
+}
+
+func (tt *Table) shard(id uint64) *tableShard {
+	// IDs are sequential; mix them so neighbouring transactions spread
+	// across shards.
+	h := id * 0x9E3779B97F4A7C15
+	return &tt.shards[h>>58%tableShards]
+}
+
+// Register inserts a transaction into the table.
+func (tt *Table) Register(t *Txn) {
+	s := tt.shard(t.ID)
+	s.mu.Lock()
+	s.m[t.ID] = t
+	s.mu.Unlock()
+}
+
+// Lookup finds a transaction by ID. The second result is false if the
+// transaction has terminated (or never existed).
+func (tt *Table) Lookup(id uint64) (*Txn, bool) {
+	s := tt.shard(id)
+	s.mu.RLock()
+	t, ok := s.m[id]
+	s.mu.RUnlock()
+	return t, ok
+}
+
+// Remove deletes a transaction from the table after postprocessing. The
+// object itself may live on: the garbage collector still needs its write
+// set's old-version pointers.
+func (tt *Table) Remove(id uint64) {
+	s := tt.shard(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+// OldestBegin returns the smallest begin timestamp of any registered
+// transaction, or fallback if the table is empty. Versions whose end
+// timestamp is at or below this watermark are invisible to every current and
+// future transaction and can be garbage collected.
+func (tt *Table) OldestBegin(fallback uint64) uint64 {
+	oldest := fallback
+	for i := range tt.shards {
+		s := &tt.shards[i]
+		s.mu.RLock()
+		for _, t := range s.m {
+			if t.Begin < oldest {
+				oldest = t.Begin
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return oldest
+}
+
+// ForEach calls fn for every registered transaction. It is used by the
+// deadlock detector to enumerate blocked transactions. fn must not call back
+// into the table's locking methods for the same shard.
+func (tt *Table) ForEach(fn func(*Txn)) {
+	for i := range tt.shards {
+		s := &tt.shards[i]
+		s.mu.RLock()
+		txns := make([]*Txn, 0, len(s.m))
+		for _, t := range s.m {
+			txns = append(txns, t)
+		}
+		s.mu.RUnlock()
+		for _, t := range txns {
+			fn(t)
+		}
+	}
+}
+
+// Len returns the number of registered transactions.
+func (tt *Table) Len() int {
+	n := 0
+	for i := range tt.shards {
+		s := &tt.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

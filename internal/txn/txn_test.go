@@ -1,0 +1,255 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func newPair() (*Table, *Txn, *Txn) {
+	tt := NewTable()
+	t1 := New(1, 1)
+	t2 := New(2, 2)
+	tt.Register(t1)
+	tt.Register(t2)
+	return tt, t1, t2
+}
+
+func TestStateTransitions(t *testing.T) {
+	tx := New(1, 1)
+	if tx.State() != Active {
+		t.Fatalf("initial state %v", tx.State())
+	}
+	for _, s := range []State{Preparing, Committed, Terminated} {
+		tx.SetState(s)
+		if tx.State() != s {
+			t.Fatalf("state %v, want %v", tx.State(), s)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		Active: "Active", Preparing: "Preparing", Committed: "Committed",
+		Aborted: "Aborted", Terminated: "Terminated", State(99): "Unknown",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Fatalf("State(%d).String() = %q, want %q", s, s.String(), str)
+		}
+	}
+}
+
+func TestCommitDepResolveCommit(t *testing.T) {
+	tt, t1, t2 := newPair()
+	// t1 depends on t2.
+	if res := t2.RegisterDependent(t1); res != DepAdded {
+		t.Fatalf("RegisterDependent = %v", res)
+	}
+	if t1.CommitDepCount() != 1 {
+		t.Fatalf("CommitDepCount = %d", t1.CommitDepCount())
+	}
+	done := make(chan error, 1)
+	go func() { done <- t1.WaitCommitDeps() }()
+	time.Sleep(5 * time.Millisecond)
+	t2.ResolveDependents(true, tt)
+	if err := <-done; err != nil {
+		t.Fatalf("WaitCommitDeps = %v", err)
+	}
+	if t1.CommitDepCount() != 0 {
+		t.Fatalf("CommitDepCount after resolve = %d", t1.CommitDepCount())
+	}
+}
+
+func TestCommitDepResolveAbortCascades(t *testing.T) {
+	tt, t1, t2 := newPair()
+	t2.RegisterDependent(t1)
+	done := make(chan error, 1)
+	go func() { done <- t1.WaitCommitDeps() }()
+	time.Sleep(5 * time.Millisecond)
+	t2.ResolveDependents(false, tt)
+	if err := <-done; err != ErrAborted {
+		t.Fatalf("WaitCommitDeps = %v, want ErrAborted", err)
+	}
+	if !t1.AbortRequested() {
+		t.Fatal("AbortNow not set on dependent")
+	}
+}
+
+func TestRegisterAfterResolution(t *testing.T) {
+	tt, t1, t2 := newPair()
+	t2.ResolveDependents(true, tt)
+	if res := t2.RegisterDependent(t1); res != DepCommitted {
+		t.Fatalf("after commit: RegisterDependent = %v, want DepCommitted", res)
+	}
+	t3 := New(3, 3)
+	tt.Register(t3)
+	t3.ResolveDependents(false, tt)
+	if res := t3.RegisterDependent(t1); res != DepAborted {
+		t.Fatalf("after abort: RegisterDependent = %v, want DepAborted", res)
+	}
+}
+
+func TestResolveSkipsMissingDependents(t *testing.T) {
+	tt, t1, t2 := newPair()
+	t2.RegisterDependent(t1)
+	tt.Remove(t1.ID) // t1 already aborted and terminated
+	t2.ResolveDependents(true, tt)
+	// No panic, no effect on t1 beyond its own responsibility.
+}
+
+func TestCommitDepNoWaitWhenResolvedEarly(t *testing.T) {
+	tt, t1, t2 := newPair()
+	t2.RegisterDependent(t1)
+	t2.ResolveDependents(true, tt)
+	// Dependency resolved before t1 is ready to commit: no wait at all.
+	if err := t1.WaitCommitDeps(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitForLifecycle(t *testing.T) {
+	_, t1, _ := newPair()
+	if !t1.AddWaitFor() {
+		t.Fatal("AddWaitFor failed on active txn")
+	}
+	if t1.WaitForCount() != 1 {
+		t.Fatalf("WaitForCount = %d", t1.WaitForCount())
+	}
+	if !t1.Blocked() {
+		t.Fatal("Blocked = false with pending wait-for")
+	}
+	done := make(chan error, 1)
+	go func() { done <- t1.WaitWaitFors() }()
+	time.Sleep(5 * time.Millisecond)
+	t1.ReleaseWaitFor()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// NoMoreWaitFors now set: further installs fail.
+	if t1.AddWaitFor() {
+		t.Fatal("AddWaitFor succeeded after WaitWaitFors returned")
+	}
+}
+
+func TestWaitWaitForsAbortBreaksWait(t *testing.T) {
+	_, t1, _ := newPair()
+	t1.AddWaitFor()
+	done := make(chan error, 1)
+	go func() { done <- t1.WaitWaitFors() }()
+	time.Sleep(5 * time.Millisecond)
+	t1.RequestAbort() // deadlock detector's victim path
+	if err := <-done; err != ErrAborted {
+		t.Fatalf("WaitWaitFors = %v, want ErrAborted", err)
+	}
+}
+
+func TestRegisterWaiterAndRelease(t *testing.T) {
+	tt, t1, t2 := newPair()
+	// t2 waits on t1.
+	if !t2.AddWaitFor() {
+		t.Fatal("AddWaitFor failed")
+	}
+	if !t1.RegisterWaiter(t2.ID) {
+		t.Fatal("RegisterWaiter failed")
+	}
+	if w := t1.Waiters(); len(w) != 1 || w[0] != t2.ID {
+		t.Fatalf("Waiters = %v", w)
+	}
+	t1.ReleaseWaiters(tt)
+	if t2.WaitForCount() != 0 {
+		t.Fatalf("WaitForCount = %d after ReleaseWaiters", t2.WaitForCount())
+	}
+	// Late registration is refused once outgoing deps are released.
+	if t1.RegisterWaiter(t2.ID) {
+		t.Fatal("RegisterWaiter succeeded after ReleaseWaiters")
+	}
+}
+
+func TestWaitForCounterTransientNegative(t *testing.T) {
+	_, t1, _ := newPair()
+	// A release racing ahead of its matching add must not wedge the txn.
+	t1.ReleaseWaitFor()
+	t1.AddWaitFor()
+	if err := t1.WaitWaitFors(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDependents(t *testing.T) {
+	tt := NewTable()
+	target := New(1, 1)
+	tt.Register(target)
+	const n = 32
+	deps := make([]*Txn, n)
+	for i := range deps {
+		deps[i] = New(uint64(i+2), uint64(i+2))
+		tt.Register(deps[i])
+	}
+	var wg sync.WaitGroup
+	for _, d := range deps {
+		wg.Add(1)
+		go func(d *Txn) {
+			defer wg.Done()
+			if res := target.RegisterDependent(d); res == DepAdded {
+				_ = d.WaitCommitDeps()
+			}
+		}(d)
+	}
+	time.Sleep(10 * time.Millisecond)
+	target.ResolveDependents(true, tt)
+	wg.Wait()
+	for _, d := range deps {
+		if d.CommitDepCount() != 0 {
+			t.Fatalf("dependent %d count = %d", d.ID, d.CommitDepCount())
+		}
+	}
+}
+
+func TestTableLookupRemove(t *testing.T) {
+	tt := NewTable()
+	tx := New(42, 42)
+	tt.Register(tx)
+	if got, ok := tt.Lookup(42); !ok || got != tx {
+		t.Fatal("Lookup failed")
+	}
+	if tt.Len() != 1 {
+		t.Fatalf("Len = %d", tt.Len())
+	}
+	tt.Remove(42)
+	if _, ok := tt.Lookup(42); ok {
+		t.Fatal("Lookup found removed txn")
+	}
+	if tt.Len() != 0 {
+		t.Fatalf("Len = %d after remove", tt.Len())
+	}
+}
+
+func TestOldestBegin(t *testing.T) {
+	tt := NewTable()
+	if got := tt.OldestBegin(77); got != 77 {
+		t.Fatalf("empty table OldestBegin = %d, want fallback 77", got)
+	}
+	for _, b := range []uint64{30, 10, 20} {
+		tt.Register(New(b, b))
+	}
+	if got := tt.OldestBegin(100); got != 10 {
+		t.Fatalf("OldestBegin = %d, want 10", got)
+	}
+	tt.Remove(10)
+	if got := tt.OldestBegin(100); got != 20 {
+		t.Fatalf("OldestBegin = %d, want 20", got)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	tt := NewTable()
+	for i := uint64(1); i <= 10; i++ {
+		tt.Register(New(i, i))
+	}
+	seen := make(map[uint64]bool)
+	tt.ForEach(func(tx *Txn) { seen[tx.ID] = true })
+	if len(seen) != 10 {
+		t.Fatalf("ForEach visited %d", len(seen))
+	}
+}

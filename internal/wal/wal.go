@@ -1,0 +1,247 @@
+// Package wal implements the redo log of Sections 2.4 and 3.2.
+//
+// To commit, a transaction writes its new versions (and the keys of deleted
+// versions) to a log record carrying its end timestamp. Commit order is
+// determined by end timestamps, which are included in the records, so
+// multiple log streams on different devices can be used.
+//
+// The experimental configuration of the paper (Section 5) writes log records
+// asynchronously with group commit: transactions do not wait for log I/O,
+// and records are submitted in batches, which is how the evaluation isolates
+// concurrency-control effects from I/O. That is the default mode here; a
+// synchronous mode that waits for the flush is available for durability
+// experiments.
+package wal
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// Op identifies a logged operation.
+type Op uint8
+
+const (
+	// OpInsert logs a brand-new record version.
+	OpInsert Op = iota + 1
+	// OpUpdate logs the after-image of an updated record. The paper logs the
+	// difference between old and new versions plus 8 bytes of metadata; we
+	// log the after-image, which is the same information for fixed 24-byte
+	// payloads.
+	OpUpdate
+	// OpDelete logs a unique key identifying the deleted version
+	// (Section 3.2: "deletes are logged by writing a unique key").
+	OpDelete
+)
+
+// Entry is one operation inside a transaction's log record.
+type Entry struct {
+	Table string
+	Op    Op
+	// Key is the record's primary index key (used for deletes and for
+	// locating records at recovery).
+	Key uint64
+	// Payload is the after-image for inserts and updates; nil for deletes.
+	Payload []byte
+}
+
+// Record is a transaction's redo log record.
+type Record struct {
+	TxID  uint64
+	EndTS uint64
+	Ops   []Entry
+
+	done chan struct{} // closed when flushed (synchronous mode)
+}
+
+// Config controls the log.
+type Config struct {
+	// Sink receives the encoded batches. If nil, records are encoded and
+	// discarded (the measurement configuration: bandwidth is modelled but no
+	// device is written).
+	Sink io.Writer
+	// Synchronous makes Append wait for the record's batch to be flushed.
+	Synchronous bool
+	// BatchSize is the maximum number of records per group-commit batch.
+	BatchSize int
+	// FlushInterval bounds how long a record may sit unflushed.
+	FlushInterval time.Duration
+	// BufferedRecords sizes the submission queue; Append blocks when full
+	// (natural backpressure at extreme rates).
+	BufferedRecords int
+}
+
+// Log is a group-commit redo log.
+type Log struct {
+	cfg   Config
+	ch    chan *Record
+	flush chan chan struct{}
+	done  chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	err      error
+	appended uint64
+	flushed  uint64
+	batches  uint64
+	bytes    uint64
+}
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("wal: log closed")
+
+// Open starts the log's flusher goroutine.
+func Open(cfg Config) *Log {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = time.Millisecond
+	}
+	if cfg.BufferedRecords <= 0 {
+		cfg.BufferedRecords = 1 << 14
+	}
+	l := &Log{
+		cfg:   cfg,
+		ch:    make(chan *Record, cfg.BufferedRecords),
+		flush: make(chan chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go l.run()
+	return l
+}
+
+// Append submits a record for group commit. In asynchronous mode it returns
+// as soon as the record is queued; in synchronous mode it waits until the
+// record's batch has reached the sink.
+func (l *Log) Append(r *Record) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.appended++
+	l.mu.Unlock()
+	if l.cfg.Synchronous {
+		r.done = make(chan struct{})
+	}
+	l.ch <- r
+	if l.cfg.Synchronous {
+		<-r.done
+		l.mu.Lock()
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Flush blocks until every record appended before the call has been written
+// to the sink.
+func (l *Log) Flush() error {
+	ack := make(chan struct{})
+	select {
+	case l.flush <- ack:
+		<-ack
+	case <-l.done:
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes and stops the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.ch)
+	<-l.done
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Stats reports log activity counters.
+func (l *Log) Stats() (appended, flushed, batches, bytes uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended, l.flushed, l.batches, l.bytes
+}
+
+func (l *Log) run() {
+	defer close(l.done)
+	var batch []*Record
+	var buf []byte
+	timer := time.NewTimer(l.cfg.FlushInterval)
+	defer timer.Stop()
+
+	flushBatch := func() {
+		if len(batch) == 0 {
+			return
+		}
+		buf = buf[:0]
+		for _, r := range batch {
+			buf = appendRecord(buf, r)
+		}
+		var err error
+		if l.cfg.Sink != nil {
+			_, err = l.cfg.Sink.Write(buf)
+		}
+		l.mu.Lock()
+		if err != nil && l.err == nil {
+			l.err = err
+		}
+		l.flushed += uint64(len(batch))
+		l.batches++
+		l.bytes += uint64(len(buf))
+		l.mu.Unlock()
+		for _, r := range batch {
+			if r.done != nil {
+				close(r.done)
+			}
+		}
+		batch = batch[:0]
+	}
+
+	for {
+		select {
+		case r, ok := <-l.ch:
+			if !ok {
+				flushBatch()
+				return
+			}
+			batch = append(batch, r)
+			if len(batch) >= l.cfg.BatchSize {
+				flushBatch()
+			}
+		case <-timer.C:
+			flushBatch()
+			timer.Reset(l.cfg.FlushInterval)
+		case ack := <-l.flush:
+			// Drain whatever is already queued, then flush.
+			for {
+				select {
+				case r, ok := <-l.ch:
+					if !ok {
+						flushBatch()
+						close(ack)
+						return
+					}
+					batch = append(batch, r)
+					continue
+				default:
+				}
+				break
+			}
+			flushBatch()
+			close(ack)
+		}
+	}
+}

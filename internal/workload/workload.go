@@ -1,0 +1,157 @@
+// Package workload implements the parameterized workloads of Section 5: the
+// homogeneous R-read/W-write transaction over an N-row table of 24-byte
+// rows, the read-only variants, the long reporting reader, and key
+// distributions (uniform, and the TATP-style non-uniform generator).
+package workload
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// RowSize is the paper's row size: "each row is 24 bytes" (Section 5.1).
+const RowSize = 24
+
+// Row builds a 24-byte payload: 8-byte key, 8-byte value, 8 bytes of filler.
+func Row(key, val uint64) []byte {
+	p := make([]byte, RowSize)
+	binary.LittleEndian.PutUint64(p, key)
+	binary.LittleEndian.PutUint64(p[8:], val)
+	return p
+}
+
+// RowKey extracts the key of a row payload.
+func RowKey(p []byte) uint64 { return binary.LittleEndian.Uint64(p) }
+
+// RowVal extracts the value of a row payload.
+func RowVal(p []byte) uint64 { return binary.LittleEndian.Uint64(p[8:]) }
+
+// Dist generates keys. Implementations must be safe to call from a single
+// goroutine with its own rand.Rand.
+type Dist interface {
+	Next(rng *rand.Rand) uint64
+}
+
+// Uniform draws keys uniformly from [0, N).
+type Uniform struct{ N uint64 }
+
+// Next returns a uniform key.
+func (u Uniform) Next(rng *rand.Rand) uint64 { return rng.Uint64() % u.N }
+
+// NURand is the TATP/TPC-C style non-uniform generator over [0, N):
+// (rand(0,A) | rand(0,N-1)) % N. A is chosen per the TATP specification
+// based on the population size.
+type NURand struct {
+	A uint64
+	N uint64
+}
+
+// NewNURand picks the TATP-specified A for the population.
+func NewNURand(n uint64) NURand {
+	var a uint64
+	switch {
+	case n <= 1_000_000:
+		a = 65_535
+	case n <= 10_000_000:
+		a = 1_048_575
+	default:
+		a = 2_097_151
+	}
+	return NURand{A: a, N: n}
+}
+
+// Next returns a skewed key.
+func (d NURand) Next(rng *rand.Rand) uint64 {
+	x := rng.Uint64() % (d.A + 1)
+	y := rng.Uint64() % d.N
+	return (x | y) % d.N
+}
+
+// Table builds the single-table schema of Section 5.1 with buckets sized so
+// there are no collisions (as in the paper's setup).
+func Table(db *core.Database, n uint64) (*core.Table, error) {
+	buckets := int(n)
+	if buckets < 1024 {
+		buckets = 1024
+	}
+	tbl, err := db.CreateTable(core.TableSpec{
+		Name:    "rows",
+		Indexes: []core.IndexSpec{{Name: "pk", Key: RowKey, Buckets: buckets}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// Load populates the table with n rows keyed 0..n-1, value = key.
+func Load(db *core.Database, tbl *core.Table, n uint64) {
+	for k := uint64(0); k < n; k++ {
+		db.LoadRow(tbl, Row(k, k))
+	}
+}
+
+// Homogeneous is the parameterized transaction of Section 5.1: R reads and W
+// writes uniformly and randomly scattered over N records.
+type Homogeneous struct {
+	Table *core.Table
+	Dist  Dist
+	R, W  int
+}
+
+// Run executes one transaction body against tx: R point reads followed by W
+// read-modify-write updates on distinct random keys. It returns the number
+// of rows read.
+func (h Homogeneous) Run(tx *core.Tx, rng *rand.Rand) (int, error) {
+	reads := 0
+	for i := 0; i < h.R; i++ {
+		key := h.Dist.Next(rng)
+		err := tx.Scan(h.Table, 0, key, nil, func(r core.Row) bool {
+			reads++
+			return false
+		})
+		if err != nil {
+			return reads, err
+		}
+	}
+	for i := 0; i < h.W; i++ {
+		key := h.Dist.Next(rng)
+		newVal := rng.Uint64()
+		_, err := tx.UpdateWhere(h.Table, 0, key, nil, func(old []byte) []byte {
+			return Row(key, newVal)
+		})
+		if err != nil {
+			return reads, err
+		}
+	}
+	return reads, nil
+}
+
+// LongReader is the operational reporting query of Section 5.2.2: a
+// transactionally consistent read-only transaction touching fraction rows of
+// the table (the paper reads 10% of a 10M-row table, R = 1,000,000).
+type LongReader struct {
+	Table *core.Table
+	N     uint64
+	Rows  uint64 // number of rows to read
+}
+
+// Run reads Rows consecutive keys starting at a random offset, wrapping
+// around the table. It returns the number of rows read.
+func (l LongReader) Run(tx *core.Tx, rng *rand.Rand) (int, error) {
+	start := rng.Uint64() % l.N
+	reads := 0
+	for i := uint64(0); i < l.Rows; i++ {
+		key := (start + i) % l.N
+		err := tx.Scan(l.Table, 0, key, nil, func(r core.Row) bool {
+			reads++
+			return false
+		})
+		if err != nil {
+			return reads, err
+		}
+	}
+	return reads, nil
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestRowCodec(t *testing.T) {
+	f := func(key, val uint64) bool {
+		p := Row(key, val)
+		return len(p) == RowSize && RowKey(p) == key && RowVal(p) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Uniform{N: 100}
+	for i := 0; i < 10000; i++ {
+		if k := d.Next(rng); k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestUniformCoversSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Uniform{N: 16}
+	seen := make(map[uint64]int)
+	for i := 0; i < 16000; i++ {
+		seen[d.Next(rng)]++
+	}
+	for k := uint64(0); k < 16; k++ {
+		if seen[k] < 500 {
+			t.Fatalf("key %d drawn only %d times", k, seen[k])
+		}
+	}
+}
+
+func TestNURandSkewAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 100_000
+	d := NewNURand(n)
+	if d.A != 65_535 {
+		t.Fatalf("A = %d for N=%d", d.A, n)
+	}
+	counts := make(map[uint64]int)
+	const draws = 200_000
+	for i := 0; i < draws; i++ {
+		k := d.Next(rng)
+		if k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// The OR construction skews towards keys with many set bits; verify the
+	// distribution is materially non-uniform: the hottest key should be
+	// drawn far more often than the uniform expectation.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniformExpect := draws / n
+	if max < uniformExpect*10 {
+		t.Fatalf("hottest key drawn %d times; expected skew over uniform %d", max, uniformExpect)
+	}
+}
+
+func TestNURandATiers(t *testing.T) {
+	if NewNURand(1_000_000).A != 65_535 {
+		t.Fatal("tier 1 A wrong")
+	}
+	if NewNURand(10_000_000).A != 1_048_575 {
+		t.Fatal("tier 2 A wrong")
+	}
+	if NewNURand(20_000_000).A != 2_097_151 {
+		t.Fatal("tier 3 A wrong")
+	}
+}
+
+func TestHomogeneousRunCounts(t *testing.T) {
+	db, err := core.Open(core.Config{Scheme: core.MVOptimistic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := Table(db, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Load(db, tbl, 1000)
+	h := Homogeneous{Table: tbl, Dist: Uniform{N: 1000}, R: 10, W: 2}
+	rng := rand.New(rand.NewSource(7))
+	tx := db.Begin()
+	reads, err := h.Run(tx, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads != 10 {
+		t.Fatalf("reads = %d, want 10", reads)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongReaderWraps(t *testing.T) {
+	db, err := core.Open(core.Config{Scheme: core.MVOptimistic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := Table(db, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Load(db, tbl, 100)
+	lr := LongReader{Table: tbl, N: 100, Rows: 100}
+	rng := rand.New(rand.NewSource(3))
+	tx := db.Begin(core.WithIsolation(core.SnapshotIsolation))
+	reads, err := lr.Run(tx, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads != 100 {
+		t.Fatalf("reads = %d, want 100 (every row once)", reads)
+	}
+	tx.Commit()
+}
