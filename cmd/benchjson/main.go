@@ -1,0 +1,279 @@
+// Command benchjson runs the repository's key benchmarks — the Figure 4/5
+// update-heavy workloads and the TATP mix — through testing.Benchmark and
+// emits machine-readable JSON (ns/op, allocs/op, B/op, tx/s). It exists so
+// every performance PR can record a before/after trajectory file
+// (BENCH_prN.json) without scraping `go test -bench` text output.
+//
+// Usage:
+//
+//	benchjson -out results.json                 # run, write results
+//	benchjson -before seed.json -out BENCH.json # run, merge as before/after
+//	benchjson -benchtime 300ms -quick           # faster smoke run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/tatp"
+	"repro/internal/workload"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	TxPerSec    float64 `json:"tx_per_sec"`
+}
+
+// Comparison pairs a before and after measurement for one benchmark.
+type Comparison struct {
+	Before *Result `json:"before,omitempty"`
+	After  Result  `json:"after"`
+	// AllocsReductionPct is 100*(1 - after/before) when a before exists.
+	AllocsReductionPct *float64 `json:"allocs_reduction_pct,omitempty"`
+	NsReductionPct     *float64 `json:"ns_reduction_pct,omitempty"`
+}
+
+// File is the on-disk format of a benchmark trajectory snapshot.
+type File struct {
+	GoVersion  string                `json:"go_version"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	BenchTime  string                `json:"benchtime"`
+	Results    map[string]Comparison `json:"results"`
+}
+
+const (
+	rowsLarge = 50_000 // Figure 4 table (stands in for the paper's 10M rows)
+	rowsSmall = 1_000  // Figure 5 hotspot table
+	tatpSubs  = 2_000  // TATP population
+)
+
+var schemes = []struct {
+	name   string
+	scheme core.Scheme
+}{
+	{"MVO", core.MVOptimistic},
+	{"MVL", core.MVPessimistic},
+}
+
+func openDB(scheme core.Scheme, rows uint64) (*core.Database, *core.Table, error) {
+	db, err := core.Open(core.Config{Scheme: scheme, LogSink: io.Discard, LockTimeout: 10 * time.Millisecond})
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl, err := workload.Table(db, rows)
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	workload.Load(db, tbl, rows)
+	return db, tbl, nil
+}
+
+// runMix mirrors the root bench_test.go harness — b.N committed transactions
+// across parallel workers, retrying aborts — except that workers are not
+// overprovisioned beyond GOMAXPROCS: the paper pins the multiprogramming
+// level to the hardware thread count, and oversubscription on small boxes
+// turns hotspot benchmarks into bistable lock-convoy measurements.
+func runMix(b *testing.B, db *core.Database, level core.Isolation, fn bench.TxFn) {
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1) * 7919))
+		for pb.Next() {
+			for {
+				tx := db.Begin(core.WithIsolation(level))
+				if _, err := fn(tx, rng); err != nil {
+					tx.Abort()
+					continue
+				}
+				if tx.Commit() == nil {
+					break
+				}
+			}
+		}
+	})
+	b.StopTimer()
+}
+
+func homogeneous(scheme core.Scheme, rows uint64) func(*testing.B) {
+	return func(b *testing.B) {
+		db, tbl, err := openDB(scheme, rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: rows}, R: 10, W: 2}
+		runMix(b, db, core.ReadCommitted, h.Run)
+	}
+}
+
+func tatpMix(scheme core.Scheme) func(*testing.B) {
+	return func(b *testing.B) {
+		db, err := core.Open(core.Config{Scheme: scheme, LogSink: io.Discard})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		td, err := tatp.CreateTables(db, tatpSubs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		td.Load(1)
+		mix := td.Mix(core.ReadCommitted)
+		total := 0
+		for _, m := range mix {
+			total += m.Weight
+		}
+		var seed atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(seed.Add(1) * 104729))
+			for pb.Next() {
+				w := rng.Intn(total)
+				var fn bench.TxFn
+				for _, m := range mix {
+					w -= m.Weight
+					if w < 0 {
+						fn = m.Fn
+						break
+					}
+				}
+				// TATP counts failed transactions without retrying them.
+				tx := db.Begin(core.WithIsolation(core.ReadCommitted))
+				if _, err := fn(tx, rng); err != nil {
+					tx.Abort()
+					continue
+				}
+				_ = tx.Commit()
+			}
+		})
+		b.StopTimer()
+	}
+}
+
+func toResult(r testing.BenchmarkResult) Result {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	tps := 0.0
+	if r.T > 0 {
+		tps = float64(r.N) / r.T.Seconds()
+	}
+	return Result{
+		N:           r.N,
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		TxPerSec:    tps,
+	}
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	before := flag.String("before", "", "merge this earlier results file as the 'before' column")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement time (testing -benchtime syntax)")
+	quick := flag.Bool("quick", false, "shortcut for -benchtime 100ms (CI smoke)")
+	flag.Parse()
+
+	if *quick {
+		*benchtime = "100ms"
+	}
+	testing.Init()
+	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	var prior *File
+	if *before != "" {
+		raw, err := os.ReadFile(*before)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		prior = &File{}
+		if err := json.Unmarshal(raw, prior); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{}
+	for _, s := range schemes {
+		benches = append(benches,
+			struct {
+				name string
+				fn   func(*testing.B)
+			}{"Fig4Update/" + s.name, homogeneous(s.scheme, rowsLarge)},
+			struct {
+				name string
+				fn   func(*testing.B)
+			}{"Fig5Hotspot/" + s.name, homogeneous(s.scheme, rowsSmall)},
+			struct {
+				name string
+				fn   func(*testing.B)
+			}{"TATP/" + s.name, tatpMix(s.scheme)},
+		)
+	}
+
+	file := File{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchTime:  *benchtime,
+		Results:    make(map[string]Comparison, len(benches)),
+	}
+	for _, bm := range benches {
+		fmt.Fprintf(os.Stderr, "running %s...\n", bm.name)
+		res := toResult(testing.Benchmark(bm.fn))
+		cmp := Comparison{After: res}
+		if prior != nil {
+			if p, ok := prior.Results[bm.name]; ok {
+				b := p.After
+				cmp.Before = &b
+				if b.AllocsPerOp > 0 {
+					pct := 100 * (1 - float64(res.AllocsPerOp)/float64(b.AllocsPerOp))
+					cmp.AllocsReductionPct = &pct
+				}
+				if b.NsPerOp > 0 {
+					pct := 100 * (1 - res.NsPerOp/b.NsPerOp)
+					cmp.NsReductionPct = &pct
+				}
+			}
+		}
+		file.Results[bm.name] = cmp
+		fmt.Fprintf(os.Stderr, "  %s: %.0f ns/op, %d allocs/op, %d B/op, %.0f tx/s\n",
+			bm.name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.TxPerSec)
+	}
+
+	enc, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

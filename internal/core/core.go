@@ -244,16 +244,38 @@ type txOptions struct {
 // TxOption configures a transaction at Begin.
 type TxOption func(*txOptions)
 
+// isoOptions holds one prebuilt option closure per isolation level so
+// WithIsolation allocates nothing on the transaction hot path.
+var isoOptions = [...]TxOption{
+	iso.ReadCommitted:     func(o *txOptions) { o.iso = iso.ReadCommitted },
+	iso.SnapshotIsolation: func(o *txOptions) { o.iso = iso.SnapshotIsolation },
+	iso.RepeatableRead:    func(o *txOptions) { o.iso = iso.RepeatableRead },
+	iso.Serializable:      func(o *txOptions) { o.iso = iso.Serializable },
+}
+
 // WithIsolation selects the isolation level (default ReadCommitted, the
 // default level of the paper's experiments and of many commercial engines).
 func WithIsolation(level Isolation) TxOption {
+	if int(level) >= 0 && int(level) < len(isoOptions) && isoOptions[level] != nil {
+		return isoOptions[level]
+	}
 	return func(o *txOptions) { o.iso = level }
+}
+
+// schemeOptions mirrors isoOptions for WithScheme.
+var schemeOptions = [...]TxOption{
+	MVOptimistic:  func(o *txOptions) { o.scheme = MVOptimistic; o.hasScheme = true },
+	MVPessimistic: func(o *txOptions) { o.scheme = MVPessimistic; o.hasScheme = true },
+	SingleVersion: func(o *txOptions) { o.scheme = SingleVersion; o.hasScheme = true },
 }
 
 // WithScheme overrides the concurrency control scheme for one transaction.
 // Only meaningful on multiversion databases, where optimistic and
 // pessimistic transactions can be mixed; ignored on 1V.
 func WithScheme(s Scheme) TxOption {
+	if int(s) >= 0 && int(s) < len(schemeOptions) && schemeOptions[s] != nil {
+		return schemeOptions[s]
+	}
 	return func(o *txOptions) { o.scheme = s; o.hasScheme = true }
 }
 
@@ -261,7 +283,17 @@ func WithScheme(s Scheme) TxOption {
 // perform.
 var ErrUnsupported = errors.New("core: operation unsupported by engine")
 
-// Tx is a transaction against a Database.
+// ErrTxDone is returned when operating on a transaction handle after Commit
+// or Abort has returned (handles are pooled; see Tx).
+var ErrTxDone = mv.ErrTxDone
+
+// Tx is a transaction against a Database. A Tx must not be used after
+// Commit or Abort returns; the handle clears its engine references on
+// completion, so late calls always fail fast with ErrTxDone. The handle
+// itself is deliberately not pooled — the engine-level transaction object
+// underneath is, with quiescence-gated recycling, but reusing the public
+// handle would let a retained stale pointer silently operate on another
+// goroutine's transaction instead of erroring.
 type Tx struct {
 	db   *Database
 	mvTx *mv.Tx
@@ -274,14 +306,23 @@ func (db *Database) Begin(opts ...TxOption) *Tx {
 	for _, fn := range opts {
 		fn(&o)
 	}
+	tx := &Tx{db: db}
 	if db.mvEng != nil {
 		scheme := mv.Optimistic
 		if o.scheme == MVPessimistic {
 			scheme = mv.Pessimistic
 		}
-		return &Tx{db: db, mvTx: db.mvEng.Begin(scheme, o.iso)}
+		tx.mvTx = db.mvEng.Begin(scheme, o.iso)
+	} else {
+		tx.svTx = db.svEng.Begin(o.iso)
 	}
-	return &Tx{db: db, svTx: db.svEng.Begin(o.iso)}
+	return tx
+}
+
+// release clears the engine transaction references so any later call on the
+// handle reports ErrTxDone.
+func (tx *Tx) release() {
+	tx.db, tx.mvTx, tx.svTx = nil, nil, nil
 }
 
 // Row is a handle to a record found by Lookup or Scan, usable as the target
@@ -308,6 +349,9 @@ func (tx *Tx) Scan(t *Table, index int, key uint64, pred Pred, fn func(Row) bool
 			return fn(Row{payload: v.Payload, mvV: v})
 		})
 	}
+	if tx.svTx == nil {
+		return ErrTxDone
+	}
 	return tx.svTx.Scan(t.svT, index, key, sv.Pred(pred), func(r *sv.Record) bool {
 		return fn(Row{payload: r.Payload(), svR: r})
 	})
@@ -333,6 +377,9 @@ func (tx *Tx) Insert(t *Table, payload []byte) error {
 	if tx.mvTx != nil {
 		return tx.mvTx.Insert(t.mvT, payload)
 	}
+	if tx.svTx == nil {
+		return ErrTxDone
+	}
 	return tx.svTx.Insert(t.svT, payload)
 }
 
@@ -341,6 +388,9 @@ func (tx *Tx) Update(t *Table, row Row, newPayload []byte) error {
 	if tx.mvTx != nil {
 		return tx.mvTx.Update(t.mvT, row.mvV, newPayload)
 	}
+	if tx.svTx == nil {
+		return ErrTxDone
+	}
 	return tx.svTx.Update(t.svT, row.svR, newPayload)
 }
 
@@ -348,6 +398,9 @@ func (tx *Tx) Update(t *Table, row Row, newPayload []byte) error {
 func (tx *Tx) Delete(t *Table, row Row) error {
 	if tx.mvTx != nil {
 		return tx.mvTx.Delete(t.mvT, row.mvV)
+	}
+	if tx.svTx == nil {
+		return ErrTxDone
 	}
 	return tx.svTx.Delete(t.svT, row.svR)
 }
@@ -358,6 +411,9 @@ func (tx *Tx) UpdateWhere(t *Table, index int, key uint64, pred Pred, mut func(o
 	if tx.mvTx != nil {
 		return tx.mvTx.UpdateWhere(t.mvT, index, key, mv.Pred(pred), mut)
 	}
+	if tx.svTx == nil {
+		return 0, ErrTxDone
+	}
 	return tx.svTx.UpdateWhere(t.svT, index, key, sv.Pred(pred), mut)
 }
 
@@ -367,24 +423,42 @@ func (tx *Tx) DeleteWhere(t *Table, index int, key uint64, pred Pred) (int, erro
 	if tx.mvTx != nil {
 		return tx.mvTx.DeleteWhere(t.mvT, index, key, mv.Pred(pred))
 	}
+	if tx.svTx == nil {
+		return 0, ErrTxDone
+	}
 	return tx.svTx.DeleteWhere(t.svT, index, key, sv.Pred(pred))
 }
 
 // Commit attempts to commit. A non-nil error means the transaction aborted
 // (write-write conflict, validation failure, lock failure or timeout,
 // dependency cascade, deadlock victim); the caller may retry with a fresh
-// transaction.
+// transaction. The handle must not be used after Commit returns.
 func (tx *Tx) Commit() error {
 	if tx.mvTx != nil {
-		return tx.mvTx.Commit()
+		err := tx.mvTx.Commit()
+		tx.release()
+		return err
 	}
-	return tx.svTx.Commit()
+	if tx.svTx == nil {
+		return ErrTxDone
+	}
+	err := tx.svTx.Commit()
+	tx.release()
+	return err
 }
 
-// Abort rolls the transaction back.
+// Abort rolls the transaction back. The handle must not be used after Abort
+// returns.
 func (tx *Tx) Abort() error {
 	if tx.mvTx != nil {
-		return tx.mvTx.Abort()
+		err := tx.mvTx.Abort()
+		tx.release()
+		return err
 	}
-	return tx.svTx.Abort()
+	if tx.svTx == nil {
+		return ErrTxDone
+	}
+	err := tx.svTx.Abort()
+	tx.release()
+	return err
 }

@@ -282,3 +282,45 @@ func TestOpenUnknownScheme(t *testing.T) {
 		t.Fatal("unknown scheme accepted")
 	}
 }
+
+func TestWithIsolationOutOfRange(t *testing.T) {
+	// Prebuilt option lookup must tolerate arbitrary levels (negative or
+	// past the table) without panicking.
+	for _, lvl := range []Isolation{Isolation(-1), Isolation(99)} {
+		o := txOptions{}
+		WithIsolation(lvl)(&o)
+		if o.iso != lvl {
+			t.Fatalf("WithIsolation(%d) set %d", lvl, o.iso)
+		}
+	}
+}
+
+func TestTxHandleFailsFastAfterCommit(t *testing.T) {
+	db, err := Open(Config{Scheme: MVOptimistic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable(TableSpec{Name: "t", Indexes: []IndexSpec{{
+		Name: "pk", Key: func(p []byte) uint64 { return uint64(p[0]) }, Buckets: 16,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.Insert(tbl, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != ErrTxDone {
+		t.Fatalf("second Commit = %v, want ErrTxDone", err)
+	}
+	if err := tx.Abort(); err != ErrTxDone {
+		t.Fatalf("Abort after Commit = %v, want ErrTxDone", err)
+	}
+	if err := tx.Insert(tbl, []byte{2}); err != ErrTxDone {
+		t.Fatalf("Insert after Commit = %v, want ErrTxDone", err)
+	}
+}

@@ -60,8 +60,9 @@ func TestFig4Shape(t *testing.T) {
 		}
 	}
 	// 1V is at least competitive with the MV schemes at MPL 1 (within
-	// noise): the MV overhead of version management is real.
-	if at(t, v1, 1) < 0.6*at(t, mvo, 1) {
+	// noise): the MV overhead of version management is real. Cross-engine
+	// ratios are meaningless under the race detector's instrumentation.
+	if !raceEnabled && at(t, v1, 1) < 0.6*at(t, mvo, 1) {
 		t.Errorf("1V (%v) unexpectedly far below MV/O (%v) at MPL 1",
 			at(t, v1, 1), at(t, mvo, 1))
 	}
@@ -124,6 +125,9 @@ func TestFig6Shape(t *testing.T) {
 			t.Fatalf("1V zero at %v", x)
 		}
 		return (a - b) / a
+	}
+	if raceEnabled {
+		return // cross-engine ratios are instrumentation artifacts under -race
 	}
 	if gapAt(100) > gapAt(0)+0.15 { // slack for cross-run noise
 		t.Errorf("gap did not close: %0.2f at 0%% read-only vs %0.2f at 100%%",

@@ -36,12 +36,34 @@ type Collector struct {
 	// transaction can use (the minimum active begin timestamp, or the
 	// current clock when idle).
 	watermark func() uint64
+	// clock returns the current value of the engine's timestamp counter;
+	// optional, required only for recycling (SetRecycler).
+	clock func() uint64
+	// free receives versions that are safe to reuse: unlinked from every
+	// index, with every transaction that was active at unlink time finished.
+	free func(*storage.Version)
+
+	// lastWM caches the watermark computed by the most recent Collect round,
+	// so per-transaction bookkeeping (e.g. the engine's transaction-object
+	// graveyard) reads one atomic instead of recomputing the minimum.
+	lastWM atomic.Uint64
 
 	shards   [queueShards]queueShard
 	next     atomic.Uint64
 	pending  atomic.Int64
 	retireCt atomic.Uint64
 	reclaim  atomic.Uint64
+
+	// freeMu guards freeq: versions unlinked from the indexes, stamped with
+	// the clock value at unlink, waiting for the watermark to pass so no
+	// in-flight reader can still hold them.
+	freeMu sync.Mutex
+	freeq  []freeEntry
+}
+
+type freeEntry struct {
+	v     *storage.Version
+	stamp uint64
 }
 
 type queueShard struct {
@@ -53,6 +75,43 @@ type queueShard struct {
 // use.
 func NewCollector(watermark func() uint64) *Collector {
 	return &Collector{watermark: watermark}
+}
+
+// SetRecycler enables version recycling: unlinked versions are stamped with
+// clock() and handed to free once the watermark exceeds their stamp. Any
+// transaction that could have reached the version through an index was
+// active before the unlink, so its begin timestamp is below the stamp; when
+// the watermark (minimum active begin) passes the stamp, no such transaction
+// remains and the version can be reused. Must be called before the collector
+// is shared.
+func (c *Collector) SetRecycler(clock func() uint64, free func(*storage.Version)) {
+	c.clock = clock
+	c.free = free
+}
+
+// Watermark returns the watermark cached by the most recent Collect round
+// (zero before the first round). Callers that only need a conservative
+// bound — anything below it is quiesced — can use this instead of
+// recomputing the minimum.
+func (c *Collector) Watermark() uint64 { return c.lastWM.Load() }
+
+// drainFree hands every quiesced free-list version to the recycler.
+func (c *Collector) drainFree(wm uint64) {
+	if c.free == nil {
+		return
+	}
+	c.freeMu.Lock()
+	n := 0
+	for n < len(c.freeq) && c.freeq[n].stamp < wm {
+		c.free(c.freeq[n].v)
+		n++
+	}
+	if n > 0 {
+		m := copy(c.freeq, c.freeq[n:])
+		clear(c.freeq[m:])
+		c.freeq = c.freeq[:m]
+	}
+	c.freeMu.Unlock()
 }
 
 // Retire hands a replaced or aborted version to the collector. The version's
@@ -72,13 +131,19 @@ func (c *Collector) Retire(table *storage.Table, v *storage.Version) {
 // garbage and requeueing the rest. It returns the number reclaimed. Workers
 // call this cooperatively between transactions.
 func (c *Collector) Collect(limit int) int {
+	// Compute the watermark once per round (O(shards) atomic loads), cache
+	// it for other consumers, and release quiesced versions to the recycler
+	// — even when no new garbage is pending, so read-mostly workloads still
+	// advance recycling.
+	wm := c.watermark()
+	c.lastWM.Store(wm)
+	c.drainFree(wm)
 	if c.pending.Load() == 0 {
 		return 0 // fast path for read-mostly workloads
 	}
 	if limit <= 0 {
 		limit = 1 << 30
 	}
-	wm := c.watermark()
 	reclaimed := 0
 	examined := 0
 	for i := range c.shards {
@@ -96,6 +161,11 @@ func (c *Collector) Collect(limit int) int {
 				// short either way.
 				if r.table.Unlink(r.v) {
 					reclaimed++
+					if c.free != nil {
+						c.freeMu.Lock()
+						c.freeq = append(c.freeq, freeEntry{r.v, c.clock()})
+						c.freeMu.Unlock()
+					}
 				}
 				c.pending.Add(-1)
 			} else {

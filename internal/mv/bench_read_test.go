@@ -1,0 +1,45 @@
+package mv_test
+
+// Read-path benchmark: the pooled-transaction hot path with zero writes.
+// Unlike the root-level figure benchmarks this one pins the MV engine alone
+// (no scheme sweep), so it is the fastest way to spot regressions in
+// Begin/Scan/Commit overhead.
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func BenchmarkPureRead(b *testing.B) {
+	db, err := core.Open(core.Config{Scheme: core.MVOptimistic})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const rows = 10000
+	tbl, err := workload.Table(db, rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workload.Load(db, tbl, rows)
+	h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: rows}, R: 10, W: 0}
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			tx := db.Begin(core.WithIsolation(core.ReadCommitted))
+			if _, err := h.Run(tx, rng); err != nil {
+				tx.Abort()
+				continue
+			}
+			_ = tx.Commit()
+		}
+	})
+}

@@ -72,10 +72,14 @@ func (tx *Tx) Commit() error {
 	}
 
 	// Write the redo record. Commit ordering is determined by end
-	// timestamps carried in the records (Section 3.2).
+	// timestamps carried in the records (Section 3.2). The record and its
+	// entries are owned by the Tx and reused across recycles: Append encodes
+	// them before returning, so nothing escapes.
 	if tx.e.cfg.Log != nil && len(tx.writeSet) > 0 {
-		rec := &wal.Record{TxID: tx.T.ID, EndTS: end}
-		rec.Ops = make([]wal.Entry, 0, len(tx.writeSet))
+		rec := &tx.walRec
+		rec.TxID = tx.T.ID()
+		rec.EndTS = end
+		rec.Ops = rec.Ops[:0]
 		for i := range tx.writeSet {
 			wr := &tx.writeSet[i]
 			e := wal.Entry{Table: wr.table.Name, Op: wr.op, Key: wr.key}
@@ -110,7 +114,7 @@ func (tx *Tx) Commit() error {
 	// Report to dependents, then leave the transaction table.
 	tx.T.ResolveDependents(true, tx.e.txns)
 	tx.T.SetState(txn.Terminated)
-	tx.e.txns.Remove(tx.T.ID)
+	tx.e.txns.Remove(tx.T.ID())
 
 	// Old versions are now superseded; assign them to the garbage
 	// collector.
@@ -133,7 +137,7 @@ func (tx *Tx) Commit() error {
 func (tx *Tx) finalizeEnd(v *storage.Version, endWord uint64) {
 	for {
 		w := v.End()
-		if !field.IsLock(w) || field.Writer(w) != tx.T.ID {
+		if !field.IsLock(w) || field.Writer(w) != tx.T.ID() {
 			return
 		}
 		if v.CASEnd(w, endWord) {
@@ -178,7 +182,7 @@ func (tx *Tx) abortInternal() {
 	// Cascade: dependents must also abort (Section 2.7).
 	tx.T.ResolveDependents(false, tx.e.txns)
 	tx.T.SetState(txn.Terminated)
-	tx.e.txns.Remove(tx.T.ID)
+	tx.e.txns.Remove(tx.T.ID())
 
 	// The new versions are garbage immediately; unlink them.
 	for i := range tx.writeSet {
@@ -200,7 +204,7 @@ func (tx *Tx) abortInternal() {
 func (tx *Tx) resetEnd(v *storage.Version) {
 	for {
 		w := v.End()
-		if !field.IsLock(w) || field.Writer(w) != tx.T.ID {
+		if !field.IsLock(w) || field.Writer(w) != tx.T.ID() {
 			return
 		}
 		var nw uint64
@@ -248,7 +252,7 @@ func (tx *Tx) validate(end uint64) error {
 				continue
 			}
 			bw := v.Begin()
-			if !field.IsTS(bw) && field.TxID(bw) == tx.T.ID {
+			if !field.IsTS(bw) && field.TxID(bw) == tx.T.ID() {
 				continue // our own creation is not a phantom
 			}
 			visEnd, err := tx.isVisible(v, end)
@@ -258,7 +262,7 @@ func (tx *Tx) validate(end uint64) error {
 			if !visEnd {
 				continue
 			}
-			visStart, err := tx.isVisible(v, tx.T.Begin)
+			visStart, err := tx.isVisible(v, tx.T.Begin())
 			if err != nil {
 				return err
 			}
@@ -275,7 +279,7 @@ func (tx *Tx) validate(end uint64) error {
 // write lock proves no other transaction changed them after the read.
 func (tx *Tx) stillVisible(v *storage.Version, end uint64) (bool, error) {
 	bw := v.Begin()
-	if !field.IsTS(bw) && field.TxID(bw) == tx.T.ID {
+	if !field.IsTS(bw) && field.TxID(bw) == tx.T.ID() {
 		// Our own insert, possibly updated/deleted again by us.
 		return true, nil
 	}
@@ -285,20 +289,24 @@ func (tx *Tx) stillVisible(v *storage.Version, end uint64) (bool, error) {
 			return end < field.TS(w), nil
 		}
 		writer := field.Writer(w)
-		if writer == field.NoWriter || writer == tx.T.ID {
+		if writer == field.NoWriter || writer == tx.T.ID() {
 			return true, nil
 		}
 		te, ok := tx.e.txns.Lookup(writer)
 		if !ok {
 			continue // finalizing; reread
 		}
-		switch te.State() {
+		st := te.State()
+		teEnd := te.End()
+		if te.ID() != writer {
+			continue // object recycled: TE terminated; reread the word
+		}
+		switch st {
 		case txn.Active:
 			// An uncommitted update: if it ever commits its end timestamp
 			// will exceed ours, so our read remains valid.
 			return true, nil
 		case txn.Preparing, txn.Committed:
-			teEnd := te.End()
 			if teEnd == 0 {
 				continue
 			}

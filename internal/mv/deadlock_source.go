@@ -25,18 +25,18 @@ func (s *detectorSource) Snapshot() *deadlock.Graph {
 	// are blocked by wait-for dependencies.
 	for _, t := range txs {
 		if t.Blocked() {
-			g.AddNode(t.ID)
+			g.AddNode(t.ID())
 		}
 	}
 
 	for _, t := range txs {
-		if !g.Contains(t.ID) {
+		if !g.Contains(t.ID()) {
 			continue
 		}
 		// Step 2: explicit dependencies. Every transaction in t's
 		// WaitingTxnList waits for t.
 		for _, wid := range t.Waiters() {
-			g.AddEdge(wid, t.ID)
+			g.AddEdge(wid, t.ID())
 		}
 		// Step 3: implicit dependencies. If a version read-locked by t is
 		// write locked by a blocked transaction T2, T2 waits for t's lock
@@ -44,7 +44,7 @@ func (s *detectorSource) Snapshot() *deadlock.Graph {
 		for _, v := range t.SnapshotReadLocks() {
 			w := v.End()
 			if field.IsLock(w) && field.HasWriter(w) {
-				g.AddEdge(field.Writer(w), t.ID)
+				g.AddEdge(field.Writer(w), t.ID())
 			}
 		}
 	}
@@ -71,7 +71,7 @@ func (s *detectorSource) EndTimestampOf(id uint64) uint64 {
 	if end := t.End(); end != 0 {
 		return end
 	}
-	return t.ID
+	return t.ID()
 }
 
 // Abort asks a deadlock victim to abort; its wait loop observes AbortNow.

@@ -92,6 +92,11 @@ type Stats struct {
 	SpeculativeReads uint64
 	VersionsRetired  uint64
 	VersionsReclaims uint64
+	// TxRecycled counts Begins served from the transaction-object pool.
+	TxRecycled uint64
+	// VersionsRecycled counts version allocations served from the version
+	// pool (recycled by the garbage collector after quiescence).
+	VersionsRecycled uint64
 }
 
 // Engine is a multiversion main-memory storage engine.
@@ -108,6 +113,22 @@ type Engine struct {
 
 	sinceGC atomic.Int64
 
+	// vpool recycles version objects. Versions enter it only through the
+	// garbage collector's quiescence-gated free list (see gc.SetRecycler).
+	vpool storage.VersionPool
+
+	// txPool recycles Tx (and embedded txn.Txn) objects. Finished
+	// transactions park in the graveyard first and move to the pool only
+	// once the GC watermark passes their removal timestamp, so no concurrent
+	// visibility check can still hold the txn.Txn pointer when it is Reset.
+	txPool sync.Pool
+	gravMu sync.Mutex
+	// graveyard is a FIFO of parked transactions: entries [gravHead:] are
+	// live, drained in stamp order as the watermark advances.
+	graveyard  []deadTx
+	gravHead   int
+	txRecycled atomic.Uint64
+
 	commits          atomic.Uint64
 	aborts           atomic.Uint64
 	writeConflicts   atomic.Uint64
@@ -116,6 +137,23 @@ type Engine struct {
 	cascadingAborts  atomic.Uint64
 	speculativeReads atomic.Uint64
 }
+
+// deadTx is a finished transaction awaiting quiescence before reuse.
+type deadTx struct {
+	tx *Tx
+	// stamp is the timestamp counter at the moment the transaction left the
+	// transaction table; once the watermark (oldest active begin) exceeds
+	// it, no transaction that could have looked the object up remains.
+	stamp uint64
+}
+
+// graveyardCap bounds the parked-transaction list. On overflow (cooperative
+// GC disabled, or the watermark lagging far behind under heavy
+// oversubscription) the incoming object is simply not parked — the runtime
+// garbage collector frees it instead. Dropping is O(1) and always safe; it
+// only costs pool efficiency. The cap is sized for throughput × worst-case
+// watermark lag (a scheduling quantum on an oversubscribed box).
+const graveyardCap = 32768
 
 // NewEngine constructs an engine. Call Close when done to stop background
 // workers.
@@ -135,6 +173,7 @@ func NewEngine(cfg Config) *Engine {
 	e.gc = gc.NewCollector(func() uint64 {
 		return e.txns.OldestBegin(e.oracle.Current())
 	})
+	e.gc.SetRecycler(e.oracle.Current, e.vpool.Put)
 	interval := cfg.DeadlockInterval
 	if interval == 0 {
 		interval = 2 * time.Millisecond
@@ -181,7 +220,7 @@ func (e *Engine) Table(name string) (*storage.Table, bool) {
 // It is used for initial bulk loading (single-threaded).
 func (e *Engine) LoadRow(t *storage.Table, payload []byte) {
 	tstamp := e.oracle.Next()
-	v := storage.NewVersion(payload, t.NumIndexes(), tstamp, infinityWord)
+	v := e.vpool.Get(payload, t.NumIndexes(), tstamp, infinityWord)
 	t.Insert(v)
 }
 
@@ -207,6 +246,8 @@ func (e *Engine) Stats() Stats {
 		SpeculativeReads: e.speculativeReads.Load(),
 		VersionsRetired:  retired,
 		VersionsReclaims: reclaimed,
+		TxRecycled:       e.txRecycled.Load(),
+		VersionsRecycled: e.vpool.Reuses(),
 	}
 	if e.det != nil {
 		s.DeadlockVictims = e.det.Victims()
@@ -215,22 +256,96 @@ func (e *Engine) Stats() Stats {
 }
 
 // Begin starts a transaction under the given scheme and isolation level.
+// Transaction objects are pooled: the returned Tx must not be used after
+// Commit or Abort returns (both report ErrTxDone on accidental reuse before
+// the object is recycled, but a recycled object belongs to a new
+// transaction).
 func (e *Engine) Begin(scheme Scheme, iso Isolation) *Tx {
 	id := e.oracle.Next()
-	t := txn.New(id, id)
-	e.txns.Register(t)
-	return &Tx{e: e, T: t, scheme: scheme, iso: iso}
+	var tx *Tx
+	if pooled, ok := e.txPool.Get().(*Tx); ok {
+		tx = pooled
+		tx.T.Reset(id, id)
+		e.txRecycled.Add(1)
+	} else {
+		tx = &Tx{T: txn.New(id, id)}
+	}
+	tx.e = e
+	tx.scheme = scheme
+	tx.iso = iso
+	tx.done = false
+	tx.tookLocks = false
+	e.txns.Register(tx.T)
+	return tx
 }
 
+// finishTx runs after a transaction has fully committed or aborted and left
+// the transaction table: it drops the transaction's references, parks the
+// object for recycling, and triggers cooperative garbage collection.
 func (e *Engine) finishTx(tx *Tx) {
-	if e.cfg.GCEvery > 0 && e.sinceGC.Add(1)%int64(e.cfg.GCEvery) == 0 {
-		e.gc.Collect(e.cfg.GCQuota)
+	clear(tx.readSet)
+	tx.readSet = tx.readSet[:0]
+	clear(tx.scanSet)
+	tx.scanSet = tx.scanSet[:0]
+	clear(tx.writeSet)
+	tx.writeSet = tx.writeSet[:0]
+	clear(tx.bucketLocks)
+	tx.bucketLocks = tx.bucketLocks[:0]
+	clear(tx.walRec.Ops)
+	tx.walRec.Ops = tx.walRec.Ops[:0]
+	tx.holders = tx.holders[:0]
+
+	stamp := e.oracle.Current()
+	e.gravMu.Lock()
+	if len(e.graveyard)-e.gravHead < graveyardCap {
+		e.graveyard = append(e.graveyard, deadTx{tx, stamp})
 	}
+	e.gravMu.Unlock()
+
+	if e.cfg.GCEvery > 0 && e.sinceGC.Add(1)%int64(e.cfg.GCEvery) == 0 {
+		e.collect(e.cfg.GCQuota)
+	}
+}
+
+// collect runs one garbage collection round and then recycles any parked
+// transaction objects the new watermark has quiesced.
+func (e *Engine) collect(limit int) int {
+	n := e.gc.Collect(limit)
+	e.drainGraveyard(e.gc.Watermark())
+	return n
+}
+
+// drainGraveyard moves parked transactions whose removal stamp is below the
+// watermark into the reuse pool: every transaction that could have looked
+// them up in the transaction table has itself terminated.
+func (e *Engine) drainGraveyard(wm uint64) {
+	if wm == 0 {
+		return // no GC round has published a watermark yet
+	}
+	e.gravMu.Lock()
+	h := e.gravHead
+	for h < len(e.graveyard) && e.graveyard[h].stamp < wm {
+		e.txPool.Put(e.graveyard[h].tx)
+		e.graveyard[h] = deadTx{}
+		h++
+	}
+	e.gravHead = h
+	if h == len(e.graveyard) {
+		e.graveyard = e.graveyard[:0]
+		e.gravHead = 0
+	} else if h > 1024 && h > len(e.graveyard)/2 {
+		// Compact occasionally so the backing array doesn't creep.
+		n := copy(e.graveyard, e.graveyard[h:])
+		clear(e.graveyard[n:])
+		e.graveyard = e.graveyard[:n]
+		e.gravHead = 0
+	}
+	e.gravMu.Unlock()
 }
 
 // CollectGarbage runs a bounded garbage collection round and returns the
 // number of versions reclaimed.
-func (e *Engine) CollectGarbage(limit int) int { return e.gc.Collect(limit) }
+func (e *Engine) CollectGarbage(limit int) int { return e.collect(limit) }
 
 // DetectDeadlocks runs one synchronous deadlock detection pass; it returns
 // the number of victims aborted. Useful when the background detector is

@@ -73,7 +73,7 @@ func TestFigure1Scenario(t *testing.T) {
 	// hold transaction 75's ID (a write lock identifying the updater)...
 	for _, old := range []*storage.Version{johnOld, larryOld} {
 		w := old.End()
-		if !field.IsLock(w) || field.Writer(w) != tx75.T.ID {
+		if !field.IsLock(w) || field.Writer(w) != tx75.T.ID() {
 			t.Fatalf("old version End = %x, want lock word with tx75's ID", w)
 		}
 	}
@@ -88,7 +88,7 @@ func TestFigure1Scenario(t *testing.T) {
 	if johnNew == nil {
 		t.Fatal("new John version not linked into bucket J")
 	}
-	if bw := johnNew.Begin(); field.IsTS(bw) || field.TxID(bw) != tx75.T.ID {
+	if bw := johnNew.Begin(); field.IsTS(bw) || field.TxID(bw) != tx75.T.ID() {
 		t.Fatalf("new version Begin = %x, want tx75's ID", johnNew.Begin())
 	}
 	if ew := johnNew.End(); !field.IsTS(ew) || field.TS(ew) != field.Infinity {

@@ -30,12 +30,15 @@ func (tx *Tx) acquireReadLock(v *storage.Version) error {
 			return ErrReadLockFailed
 		}
 		writer := field.Writer(w)
-		if writer != field.NoWriter && writer != tx.T.ID && field.Readers(w) == 0 {
+		if writer != field.NoWriter && writer != tx.T.ID() && field.Readers(w) == 0 {
 			// First read lock on a write-locked version: force the writer
 			// to wait on V before it can precommit.
 			te, ok := tx.e.txns.Lookup(writer)
 			if !ok {
 				continue // writer finalizing; word about to change
+			}
+			if te.ID() != writer {
+				continue // object recycled: writer terminated; reread
 			}
 			if te.State() == txn.Aborted {
 				// The writer aborted; no dependency needed, the lock word
@@ -115,9 +118,12 @@ func (tx *Tx) releaseAllReadLocks() {
 		return
 	}
 	tx.tookLocks = false
-	for _, v := range tx.T.TakeReadLocks() {
+	tx.readLockBuf = tx.T.DrainReadLocks(tx.readLockBuf)
+	for _, v := range tx.readLockBuf {
 		tx.releaseReadLock(v)
 	}
+	clear(tx.readLockBuf)
+	tx.readLockBuf = tx.readLockBuf[:0]
 }
 
 // installWriteLock atomically stores tx's ID in V's End word, the combined
@@ -133,7 +139,7 @@ func (tx *Tx) installWriteLock(v *storage.Version) (wasReadLocked bool, err erro
 				// the latest.
 				return false, ErrWriteConflict
 			}
-			if v.CASEnd(w, field.Lock(tx.T.ID, 0, false)) {
+			if v.CASEnd(w, field.Lock(tx.T.ID(), 0, false)) {
 				return false, nil
 			}
 			continue
@@ -145,12 +151,12 @@ func (tx *Tx) installWriteLock(v *storage.Version) (wasReadLocked bool, err erro
 			if field.Readers(w) > 0 && tx.e.cfg.DisableEagerUpdates {
 				return false, ErrWriteConflict
 			}
-			if v.CASEnd(w, field.WithWriter(w, tx.T.ID)) {
+			if v.CASEnd(w, field.WithWriter(w, tx.T.ID())) {
 				return field.Readers(w) > 0, nil
 			}
 			continue
 		}
-		if writer == tx.T.ID {
+		if writer == tx.T.ID() {
 			// Double update of the same old version within one transaction:
 			// the correct target is our new version; treat as a conflict.
 			return false, ErrWriteConflict
@@ -159,11 +165,15 @@ func (tx *Tx) installWriteLock(v *storage.Version) (wasReadLocked bool, err erro
 		if !ok {
 			continue // finalizing; reread
 		}
-		switch te.State() {
+		st := te.State()
+		if te.ID() != writer {
+			continue // object recycled: writer terminated; reread the word
+		}
+		switch st {
 		case txn.Aborted:
 			// The updater aborted: V is still the latest version and its
 			// write lock can be stolen (Section 2.6).
-			if v.CASEnd(w, field.WithWriter(w, tx.T.ID)) {
+			if v.CASEnd(w, field.WithWriter(w, tx.T.ID())) {
 				return field.Readers(w) > 0, nil
 			}
 			continue
@@ -185,7 +195,7 @@ func (tx *Tx) lockBucket(b *storage.Bucket) {
 			return
 		}
 	}
-	tx.e.blt.Acquire(b, tx.T.ID)
+	tx.e.blt.Acquire(b, tx.T.ID())
 	tx.bucketLocks = append(tx.bucketLocks, b)
 }
 
@@ -193,9 +203,10 @@ func (tx *Tx) lockBucket(b *storage.Bucket) {
 // processing.
 func (tx *Tx) releaseBucketLocks() {
 	for _, b := range tx.bucketLocks {
-		tx.e.blt.Release(b, tx.T.ID)
+		tx.e.blt.Release(b, tx.T.ID())
 	}
-	tx.bucketLocks = nil
+	clear(tx.bucketLocks)
+	tx.bucketLocks = tx.bucketLocks[:0]
 }
 
 // bucketInsertDeps is called when tx adds a new version to bucket b: if the
@@ -209,18 +220,22 @@ func (tx *Tx) bucketInsertDeps(b *storage.Bucket) error {
 	if tx.e.cfg.DisableEagerUpdates {
 		return ErrWriteConflict
 	}
-	for _, hid := range tx.e.blt.Holders(b) {
-		if hid == tx.T.ID {
+	tx.holders = tx.e.blt.AppendHolders(tx.holders[:0], b)
+	for _, hid := range tx.holders {
+		if hid == tx.T.ID() {
 			continue // our own scan lock; our inserts are visible to us
 		}
 		holder, ok := tx.e.txns.Lookup(hid)
 		if !ok {
 			continue // holder finished
 		}
+		if holder.ID() != hid {
+			continue // object recycled: holder finished
+		}
 		if !tx.T.AddWaitFor() {
 			return ErrWaitForRefused
 		}
-		if !holder.RegisterWaiter(tx.T.ID) {
+		if !holder.RegisterWaiter(tx.T.ID()) {
 			// The holder already released its outgoing dependencies (it has
 			// precommitted); it no longer needs phantom protection.
 			tx.T.ReleaseWaitFor()
@@ -235,7 +250,7 @@ func (tx *Tx) bucketInsertDeps(b *storage.Bucket) error {
 // wait-for dependency on TU's behalf — TU may not precommit until tx has
 // completed (Section 4.2.2).
 func (tx *Tx) imposePhantomDep(tu *txn.Txn) error {
-	if tu.ID == tx.T.ID {
+	if tu.ID() == tx.T.ID() {
 		return nil
 	}
 	if !tu.AddWaitFor() {
@@ -243,7 +258,7 @@ func (tx *Tx) imposePhantomDep(tu *txn.Txn) error {
 		// guarantee phantom avoidance.
 		return ErrPhantomRisk
 	}
-	if !tx.T.RegisterWaiter(tu.ID) {
+	if !tx.T.RegisterWaiter(tu.ID()) {
 		tu.ReleaseWaitFor() // we are past release (cannot happen while active)
 	}
 	return nil

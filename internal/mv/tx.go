@@ -33,6 +33,11 @@ type writeRec struct {
 
 // Tx is a multiversion transaction. It is owned by a single goroutine; other
 // transactions interact with it only through its embedded txn.Txn.
+//
+// Tx objects are pooled by the engine: Begin may return a recycled object,
+// and a Tx must not be touched after Commit or Abort returns. All scratch
+// slices below keep their backing arrays across recycles, so a steady-state
+// transaction allocates nothing.
 type Tx struct {
 	// T is the scheme-independent transaction object (states, timestamps,
 	// dependencies). Exposed for tests and the facade.
@@ -47,6 +52,14 @@ type Tx struct {
 	scanSet     []scanRecord
 	writeSet    []writeRec
 	bucketLocks []*storage.Bucket
+
+	// walRec is the reusable redo record; wal.Append encodes it before
+	// returning, so the record and its Ops never escape the commit call.
+	walRec wal.Record
+	// holders is the scratch buffer for bucket-lock holder snapshots.
+	holders []uint64
+	// readLockBuf is the scratch buffer for draining read locks.
+	readLockBuf []*storage.Version
 
 	// tookLocks is an owner-only fast path: true once the transaction has
 	// acquired any read lock (the locks themselves live on T so the
@@ -69,10 +82,10 @@ func (tx *Tx) readTime() uint64 {
 		if tx.iso == ReadCommitted {
 			return tx.e.oracle.Current()
 		}
-		return tx.T.Begin
+		return tx.T.Begin()
 	}
 	if tx.iso == SnapshotIsolation {
-		return tx.T.Begin
+		return tx.T.Begin()
 	}
 	return tx.e.oracle.Current()
 }
@@ -186,18 +199,23 @@ func (tx *Tx) phantomGuard(v *storage.Version, rt uint64) error {
 			}
 		} else {
 			tbID := field.TxID(bw)
-			if tbID == tx.T.ID {
+			if tbID == tx.T.ID() {
 				return nil // our own insert
 			}
 			tb, ok := tx.e.txns.Lookup(tbID)
 			if !ok {
 				continue // finalizing; reread
 			}
-			switch tb.State() {
+			st := tb.State()
+			tbEnd := tb.End()
+			if tb.ID() != tbID {
+				continue // object recycled: TB terminated; reread the word
+			}
+			switch st {
 			case txn.Active:
 				return tx.imposePhantomDep(tb)
 			case txn.Preparing, txn.Committed:
-				effBegin = tb.End()
+				effBegin = tbEnd
 				if effBegin == 0 {
 					continue
 				}
@@ -245,7 +263,7 @@ func (tx *Tx) Insert(t *storage.Table, payload []byte) error {
 	if err := tx.checkUsable(); err != nil {
 		return err
 	}
-	v := storage.NewVersion(payload, t.NumIndexes(), field.FromTxID(tx.T.ID), infinityWord)
+	v := tx.e.vpool.Get(payload, t.NumIndexes(), field.FromTxID(tx.T.ID()), infinityWord)
 	// Inserting into a locked bucket is allowed, but then tx cannot
 	// precommit until the lock holders have completed (Section 4.2.2). This
 	// applies to optimistic transactions too: honoring bucket locks is what
@@ -279,7 +297,7 @@ func (tx *Tx) Update(t *storage.Table, old *storage.Version, newPayload []byte) 
 		// until all read locks on the version are released (Section 4.2.1).
 		tx.T.AddWaitFor()
 	}
-	nv := storage.NewVersion(newPayload, t.NumIndexes(), field.FromTxID(tx.T.ID), infinityWord)
+	nv := tx.e.vpool.Get(newPayload, t.NumIndexes(), field.FromTxID(tx.T.ID()), infinityWord)
 	for ord := 0; ord < t.NumIndexes(); ord++ {
 		ix := t.Index(ord)
 		if err := tx.bucketInsertDeps(ix.Bucket(ix.Key(newPayload))); err != nil {

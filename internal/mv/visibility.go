@@ -39,7 +39,7 @@ func (e *Engine) checkVisibility(self *txn.Txn, v *storage.Version, rt uint64) v
 			beginTS = field.TS(bw)
 		} else {
 			tbID := field.TxID(bw)
-			if tbID == self.ID {
+			if tbID == self.ID() {
 				// Table 1, Active & TB = T: our own new version is visible
 				// only if it is our latest — End is infinity, possibly with
 				// read locks (a lock word with no writer). If we updated or
@@ -56,7 +56,14 @@ func (e *Engine) checkVisibility(self *txn.Txn, v *storage.Version, rt uint64) v
 				// Terminated or not found: TB finalized the word; reread.
 				continue
 			}
-			switch tb.State() {
+			st := tb.State()
+			tstamp := tb.End()
+			if tb.ID() != tbID {
+				// The object was recycled for a new transaction, so TB has
+				// terminated and finalized the word; reread.
+				continue
+			}
+			switch st {
 			case txn.Active:
 				// Uncommitted version of another transaction: invisible.
 				return visOutcome{}
@@ -64,7 +71,6 @@ func (e *Engine) checkVisibility(self *txn.Txn, v *storage.Version, rt uint64) v
 				// V's begin timestamp will be TB's end timestamp if TB
 				// commits. Test with it; a true outcome is a speculative
 				// read requiring a commit dependency on TB.
-				tstamp := tb.End()
 				if tstamp == 0 {
 					continue // end timestamp not yet published; reread
 				}
@@ -73,7 +79,6 @@ func (e *Engine) checkVisibility(self *txn.Txn, v *storage.Version, rt uint64) v
 			case txn.Committed:
 				// Committed but Begin not yet finalized: use TB's end
 				// timestamp; no dependency needed.
-				tstamp := tb.End()
 				if tstamp == 0 {
 					continue
 				}
@@ -104,7 +109,7 @@ func (e *Engine) checkVisibility(self *txn.Txn, v *storage.Version, rt uint64) v
 			return visOutcome{visible: true, dep: dep}
 		}
 		teID := field.Writer(ew)
-		if teID == self.ID {
+		if teID == self.ID() {
 			// We updated or deleted this version ourselves: the old version
 			// is invisible to us (we see the new one).
 			return visOutcome{}
@@ -113,13 +118,18 @@ func (e *Engine) checkVisibility(self *txn.Txn, v *storage.Version, rt uint64) v
 		if !ok {
 			continue // TE finalized the word; reread
 		}
-		switch te.State() {
+		teState := te.State()
+		teEnd := te.End()
+		if te.ID() != teID {
+			continue // object recycled: TE terminated; reread the word
+		}
+		switch teState {
 		case txn.Active:
 			// Another transaction's uncommitted update: the old version is
 			// still the visible one.
 			return visOutcome{visible: true, dep: dep}
 		case txn.Preparing:
-			tstamp := te.End()
+			tstamp := teEnd
 			if tstamp == 0 {
 				continue
 			}
@@ -134,7 +144,7 @@ func (e *Engine) checkVisibility(self *txn.Txn, v *storage.Version, rt uint64) v
 			// TE.
 			return visOutcome{visible: false, dep: te}
 		case txn.Committed:
-			tstamp := te.End()
+			tstamp := teEnd
 			if tstamp == 0 {
 				continue
 			}

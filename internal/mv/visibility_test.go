@@ -76,7 +76,7 @@ func TestVisibilityLatestVersion(t *testing.T) {
 func TestVisibilityBeginActive(t *testing.T) {
 	e, r := visEngine(t)
 	tb := registerTxn(e, 7, txn.Active, 0)
-	v := mkVersion(field.FromTxID(tb.ID), field.FromTS(field.Infinity))
+	v := mkVersion(field.FromTxID(tb.ID()), field.FromTS(field.Infinity))
 	if out := e.checkVisibility(r.T, v, 50); out.visible {
 		t.Fatal("other transaction's uncommitted version visible")
 	}
@@ -86,7 +86,7 @@ func TestVisibilityBeginActive(t *testing.T) {
 		t.Fatal("creator cannot see own version")
 	}
 	// ...but not once it has deleted it (End holds its own ID).
-	v.SetEnd(field.Lock(tb.ID, 0, false))
+	v.SetEnd(field.Lock(tb.ID(), 0, false))
 	if out := e.checkVisibility(creator.T, v, 50); out.visible {
 		t.Fatal("creator sees own deleted version")
 	}
@@ -98,7 +98,7 @@ func TestVisibilityBeginActive(t *testing.T) {
 func TestVisibilityBeginPreparing(t *testing.T) {
 	e, r := visEngine(t)
 	tb := registerTxn(e, 8, txn.Preparing, 40)
-	v := mkVersion(field.FromTxID(tb.ID), field.FromTS(field.Infinity))
+	v := mkVersion(field.FromTxID(tb.ID()), field.FromTS(field.Infinity))
 	// rt below TB's end: test false, no dependency.
 	if out := e.checkVisibility(r.T, v, 30); out.visible || out.dep != nil {
 		t.Fatalf("rt=30: got %+v, want invisible/no dep", out)
@@ -115,7 +115,7 @@ func TestVisibilityBeginPreparing(t *testing.T) {
 func TestVisibilityBeginCommitted(t *testing.T) {
 	e, r := visEngine(t)
 	tb := registerTxn(e, 9, txn.Committed, 40)
-	v := mkVersion(field.FromTxID(tb.ID), field.FromTS(field.Infinity))
+	v := mkVersion(field.FromTxID(tb.ID()), field.FromTS(field.Infinity))
 	if out := e.checkVisibility(r.T, v, 50); !out.visible || out.dep != nil {
 		t.Fatalf("got %+v, want visible with no dep", out)
 	}
@@ -128,7 +128,7 @@ func TestVisibilityBeginCommitted(t *testing.T) {
 func TestVisibilityBeginAborted(t *testing.T) {
 	e, r := visEngine(t)
 	tb := registerTxn(e, 10, txn.Aborted, 0)
-	v := mkVersion(field.FromTxID(tb.ID), field.FromTS(field.Infinity))
+	v := mkVersion(field.FromTxID(tb.ID()), field.FromTS(field.Infinity))
 	if out := e.checkVisibility(r.T, v, 50); out.visible {
 		t.Fatal("aborted creator's version visible")
 	}
@@ -138,7 +138,7 @@ func TestVisibilityBeginAborted(t *testing.T) {
 func TestVisibilityEndActive(t *testing.T) {
 	e, r := visEngine(t)
 	te := registerTxn(e, 11, txn.Active, 0)
-	v := mkVersion(field.FromTS(10), field.Lock(te.ID, 0, false))
+	v := mkVersion(field.FromTS(10), field.Lock(te.ID(), 0, false))
 	if out := e.checkVisibility(r.T, v, 50); !out.visible || out.dep != nil {
 		t.Fatalf("got %+v, want visible (uncommitted update)", out)
 	}
@@ -149,7 +149,7 @@ func TestVisibilityEndActive(t *testing.T) {
 func TestVisibilityEndPreparing(t *testing.T) {
 	e, r := visEngine(t)
 	te := registerTxn(e, 12, txn.Preparing, 40)
-	v := mkVersion(field.FromTS(10), field.Lock(te.ID, 0, false))
+	v := mkVersion(field.FromTS(10), field.Lock(te.ID(), 0, false))
 	if out := e.checkVisibility(r.T, v, 30); !out.visible || out.dep != nil {
 		t.Fatalf("rt=30 (TS>RT): got %+v, want visible/no dep", out)
 	}
@@ -163,7 +163,7 @@ func TestVisibilityEndPreparing(t *testing.T) {
 func TestVisibilityEndCommitted(t *testing.T) {
 	e, r := visEngine(t)
 	te := registerTxn(e, 13, txn.Committed, 40)
-	v := mkVersion(field.FromTS(10), field.Lock(te.ID, 0, false))
+	v := mkVersion(field.FromTS(10), field.Lock(te.ID(), 0, false))
 	if out := e.checkVisibility(r.T, v, 30); !out.visible {
 		t.Fatal("rt=30: invisible below TE's end")
 	}
@@ -177,7 +177,7 @@ func TestVisibilityEndCommitted(t *testing.T) {
 func TestVisibilityEndAborted(t *testing.T) {
 	e, r := visEngine(t)
 	te := registerTxn(e, 14, txn.Aborted, 0)
-	v := mkVersion(field.FromTS(10), field.Lock(te.ID, 0, false))
+	v := mkVersion(field.FromTS(10), field.Lock(te.ID(), 0, false))
 	if out := e.checkVisibility(r.T, v, 50); !out.visible {
 		t.Fatal("version with aborted updater invisible")
 	}
@@ -186,7 +186,7 @@ func TestVisibilityEndAborted(t *testing.T) {
 // End = our own ID: the old version of our own update is invisible to us.
 func TestVisibilityEndSelf(t *testing.T) {
 	e, r := visEngine(t)
-	v := mkVersion(field.FromTS(10), field.Lock(r.T.ID, 0, false))
+	v := mkVersion(field.FromTS(10), field.Lock(r.T.ID(), 0, false))
 	if out := e.checkVisibility(r.T, v, 50); out.visible {
 		t.Fatal("own-updated old version visible to updater")
 	}
@@ -197,7 +197,7 @@ func TestVisibilityEndSelf(t *testing.T) {
 func TestIsVisibleDependencyRegistration(t *testing.T) {
 	e, r := visEngine(t)
 	te := registerTxn(e, 15, txn.Preparing, 40)
-	v := mkVersion(field.FromTS(10), field.Lock(te.ID, 0, false))
+	v := mkVersion(field.FromTS(10), field.Lock(te.ID(), 0, false))
 	vis, err := r.isVisible(v, 50)
 	if err != nil || vis {
 		t.Fatalf("got vis=%v err=%v, want speculative ignore", vis, err)
@@ -219,7 +219,7 @@ func TestIsVisibleSpeculationDisabled(t *testing.T) {
 	e.Oracle().AdvanceTo(100)
 	r := e.Begin(Optimistic, SnapshotIsolation)
 	te := registerTxn(e, 16, txn.Preparing, 40)
-	v := mkVersion(field.FromTS(10), field.Lock(te.ID, 0, false))
+	v := mkVersion(field.FromTS(10), field.Lock(te.ID(), 0, false))
 	if _, err := r.isVisible(v, 50); err != ErrSpeculationDisabled {
 		t.Fatalf("err = %v, want ErrSpeculationDisabled", err)
 	}

@@ -69,13 +69,18 @@ func (t *BucketLockTable) Release(b *Bucket, txid uint64) {
 	s.mu.Unlock()
 }
 
-// Holders returns a snapshot of the transaction IDs holding locks on b.
-func (t *BucketLockTable) Holders(b *Bucket) []uint64 {
+// AppendHolders appends the transaction IDs holding locks on b to dst and
+// returns the extended slice. Passing a reused buffer keeps the pessimistic
+// insert path allocation-free.
+func (t *BucketLockTable) AppendHolders(dst []uint64, b *Bucket) []uint64 {
 	s := t.shard(b)
 	s.mu.Lock()
-	list := s.m[b]
-	out := make([]uint64, len(list))
-	copy(out, list)
+	dst = append(dst, s.m[b]...)
 	s.mu.Unlock()
-	return out
+	return dst
+}
+
+// Holders returns a snapshot of the transaction IDs holding locks on b.
+func (t *BucketLockTable) Holders(b *Bucket) []uint64 {
+	return t.AppendHolders(nil, b)
 }

@@ -16,17 +16,31 @@ import (
 	"repro/internal/field"
 )
 
+// InlinePayload is the size of a version's inline payload buffer: payloads
+// at most this long are copied into the version itself, so small fixed-width
+// records (the paper's 24-byte rows, every TATP row) need no separate
+// payload allocation. Larger payloads are retained by reference.
+const InlinePayload = 48
+
 // Version is one version of a record. The payload is immutable after
 // creation; updates create new versions (Section 2.3).
 //
 // The chain pointers and cached index keys for the first two indexes live
 // inline in the struct — scans touch one cache line per version — with a
 // spill slice for tables with more indexes.
+//
+// Versions may be pooled: after the garbage collector has unlinked a version
+// from every index AND the watermark has passed the unlink time (so no
+// transaction that could still reach it remains active), Reset rearms the
+// object for a new record. All reader-reachable mutable words (begin, end,
+// next pointers) are atomic, so recycling never races with stale readers.
 type Version struct {
 	begin atomic.Uint64
 	end   atomic.Uint64
 	// Payload is the record's user data. It must not be modified after the
-	// version is installed in an index.
+	// version is installed in an index, and must not be retained past the
+	// reading transaction's lifetime: it may point into the version's inline
+	// buffer, which is reused when the version is recycled.
 	Payload []byte
 
 	next0, next1 atomic.Pointer[Version]
@@ -37,19 +51,60 @@ type Version struct {
 	// unlinked is set once the version has been removed from every index by
 	// the garbage collector, guarding against double unlinks.
 	unlinked atomic.Bool
+
+	inline [InlinePayload]byte
 }
 
 // NewVersion allocates a version with room for chains in nindexes indexes.
-// The Begin and End words start as the given values.
+// The Begin and End words start as the given values. Small payloads are
+// copied into the version's inline buffer; larger ones are retained.
 func NewVersion(payload []byte, nindexes int, begin, end uint64) *Version {
-	v := &Version{Payload: payload}
-	if nindexes > 2 {
-		v.nextX = make([]atomic.Pointer[Version], nindexes-2)
-		v.keysX = make([]uint64, nindexes-2)
+	v := &Version{}
+	v.Reset(payload, nindexes, begin, end)
+	return v
+}
+
+// Reset rearms a version for reuse: it installs the payload (copying small
+// payloads into the inline buffer), sizes the spill chain slices for
+// nindexes, clears every chain pointer and the unlinked flag, and stores the
+// Begin and End words. The caller must guarantee the version is unreachable:
+// unlinked from every index, with every transaction that might still hold a
+// pointer terminated.
+func (v *Version) Reset(payload []byte, nindexes int, begin, end uint64) {
+	if len(payload) <= InlinePayload {
+		v.Payload = v.inline[:len(payload)]
+		copy(v.Payload, payload)
+	} else {
+		v.Payload = payload
 	}
+	// Clear the whole spill capacity (not just the new length) so a pooled
+	// version doesn't retain chain pointers from a previous table.
+	spill := v.nextX[:cap(v.nextX)]
+	for i := range spill {
+		spill[i].Store(nil)
+	}
+	keys := v.keysX[:cap(v.keysX)]
+	for i := range keys {
+		keys[i] = 0
+	}
+	if nindexes > 2 {
+		if cap(v.nextX) >= nindexes-2 {
+			v.nextX = v.nextX[:nindexes-2]
+			v.keysX = v.keysX[:nindexes-2]
+		} else {
+			v.nextX = make([]atomic.Pointer[Version], nindexes-2)
+			v.keysX = make([]uint64, nindexes-2)
+		}
+	} else {
+		v.nextX = v.nextX[:0]
+		v.keysX = v.keysX[:0]
+	}
+	v.next0.Store(nil)
+	v.next1.Store(nil)
+	v.key0, v.key1 = 0, 0
+	v.unlinked.Store(false)
 	v.begin.Store(begin)
 	v.end.Store(end)
-	return v
 }
 
 // Begin loads the Begin word.

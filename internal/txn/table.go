@@ -1,10 +1,26 @@
 package txn
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 )
 
+// atomicPaddedUint64 is an atomic uint64 padded out to a cache line so the
+// 64 shard minima don't false-share when OldestBegin sweeps them.
+type atomicPaddedUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+func (a *atomicPaddedUint64) Load() uint64   { return a.v.Load() }
+func (a *atomicPaddedUint64) Store(x uint64) { a.v.Store(x) }
+
 const tableShards = 64
+
+// noMin is the per-shard minimum sentinel for an empty shard. It is larger
+// than any real timestamp (timestamps fit in 63 bits).
+const noMin = math.MaxUint64
 
 // Table is the transaction table: a sharded map from transaction ID to
 // transaction object. Visibility checks look up the transactions whose IDs
@@ -13,7 +29,10 @@ const tableShards = 64
 // or not found: reread the field").
 //
 // The table also tracks the set of active transactions so the garbage
-// collector can compute the oldest visible read time.
+// collector can compute the oldest visible read time. Each shard caches the
+// minimum begin timestamp of its entries, maintained on Register/Remove, so
+// OldestBegin is O(shards) atomic loads instead of a locked walk of every
+// entry — the watermark computation stays off the transaction hot path.
 type Table struct {
 	shards [tableShards]tableShard
 }
@@ -21,6 +40,11 @@ type Table struct {
 type tableShard struct {
 	mu sync.RWMutex
 	m  map[uint64]*Txn
+	// min is the smallest Begin among the shard's entries, or noMin when the
+	// shard is empty. Written under mu; read with an atomic load by
+	// OldestBegin. The padding keeps neighbouring shards' hot words off one
+	// cache line.
+	min atomicPaddedUint64
 }
 
 // NewTable returns an empty transaction table.
@@ -28,6 +52,7 @@ func NewTable() *Table {
 	t := &Table{}
 	for i := range t.shards {
 		t.shards[i].m = make(map[uint64]*Txn)
+		t.shards[i].min.Store(noMin)
 	}
 	return t
 }
@@ -41,9 +66,13 @@ func (tt *Table) shard(id uint64) *tableShard {
 
 // Register inserts a transaction into the table.
 func (tt *Table) Register(t *Txn) {
-	s := tt.shard(t.ID)
+	s := tt.shard(t.ID())
+	b := t.Begin()
 	s.mu.Lock()
-	s.m[t.ID] = t
+	s.m[t.ID()] = t
+	if b < s.min.Load() {
+		s.min.Store(b)
+	}
 	s.mu.Unlock()
 }
 
@@ -58,12 +87,28 @@ func (tt *Table) Lookup(id uint64) (*Txn, bool) {
 }
 
 // Remove deletes a transaction from the table after postprocessing. The
-// object itself may live on: the garbage collector still needs its write
-// set's old-version pointers.
+// object itself may live on: stale pointers obtained before the removal can
+// still be dereferenced (all shared fields are synchronized), they just
+// observe the finalized state.
 func (tt *Table) Remove(id uint64) {
 	s := tt.shard(id)
 	s.mu.Lock()
+	t, ok := s.m[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
 	delete(s.m, id)
+	if t.Begin() == s.min.Load() {
+		// The shard minimum left; rescan the (small) shard for the new one.
+		newMin := uint64(noMin)
+		for _, o := range s.m {
+			if b := o.Begin(); b < newMin {
+				newMin = b
+			}
+		}
+		s.min.Store(newMin)
+	}
 	s.mu.Unlock()
 }
 
@@ -72,16 +117,14 @@ func (tt *Table) Remove(id uint64) {
 // timestamp is at or below this watermark are invisible to every current and
 // future transaction and can be garbage collected.
 func (tt *Table) OldestBegin(fallback uint64) uint64 {
-	oldest := fallback
+	oldest := uint64(noMin)
 	for i := range tt.shards {
-		s := &tt.shards[i]
-		s.mu.RLock()
-		for _, t := range s.m {
-			if t.Begin < oldest {
-				oldest = t.Begin
-			}
+		if m := tt.shards[i].min.Load(); m < oldest {
+			oldest = m
 		}
-		s.mu.RUnlock()
+	}
+	if oldest == noMin || oldest > fallback {
+		return fallback
 	}
 	return oldest
 }

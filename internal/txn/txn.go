@@ -88,12 +88,20 @@ const (
 
 // Txn is a transaction object. It carries only the scheme-independent
 // machinery; engines embed it and add their read/scan/write sets.
+//
+// Txn objects may be pooled and recycled by the engine. Every field that a
+// concurrent reader can reach through a stale pointer (obtained from the
+// transaction table before the entry was removed) is either atomic or
+// mutex-guarded, so Reset never races with late readers; see Reset for the
+// logical-safety protocol on top of that.
 type Txn struct {
-	// ID is the transaction's unique identifier, drawn from the global
-	// timestamp counter. It fits in the 54-bit WriteLock field.
-	ID uint64
-	// Begin is the begin timestamp, assigned at creation.
-	Begin uint64
+	// id is the transaction's unique identifier, drawn from the global
+	// timestamp counter. It fits in the 54-bit WriteLock field. Atomic so a
+	// reader holding a stale pointer can revalidate it after Reset (IDs are
+	// never reused, so id is also the object's incarnation tag).
+	id atomic.Uint64
+	// begin is the begin timestamp, assigned at creation or Reset.
+	begin atomic.Uint64
 
 	end   atomic.Uint64
 	state atomic.Uint32
@@ -138,10 +146,57 @@ type Txn struct {
 // New creates a transaction in the Active state with the given ID and begin
 // timestamp. Engines should allocate both from the same oracle draw.
 func New(id, begin uint64) *Txn {
-	t := &Txn{ID: id, Begin: begin}
+	t := &Txn{}
 	t.cond.L = &t.mu
+	t.id.Store(id)
+	t.begin.Store(begin)
 	return t
 }
+
+// Reset re-initializes a terminated transaction object for reuse with a new
+// identity. The caller must guarantee that the object has been removed from
+// the transaction table AND that every transaction which could have looked it
+// up has itself terminated (the engine defers reuse until the GC watermark
+// passes the removal timestamp). The new id is published first: a late reader
+// that revalidates the id after reading state/end words (see ID) will detect
+// the recycle and treat the old transaction as terminated.
+func (t *Txn) Reset(id, begin uint64) {
+	t.id.Store(id)
+	t.begin.Store(begin)
+	t.end.Store(0)
+	t.state.Store(uint32(Active))
+	t.commitDepCounter.Store(0)
+	t.abortNow.Store(false)
+	t.mu.Lock()
+	t.depsClosed = false
+	t.committed = false
+	t.commitDepSet = t.commitDepSet[:0]
+	t.waitForCounter = 0
+	t.noMoreWaitFors = false
+	t.outgoingReleased = false
+	t.waitingTxnList = t.waitingTxnList[:0]
+	t.mu.Unlock()
+	// The read-lock list was drained at end of normal processing; skip the
+	// lock when it is already empty (reading len unsynchronized is fine: the
+	// only writers are the previous owner, ordered by the recycle protocol,
+	// and concurrent deadlock-detector access only reads).
+	if len(t.readLocks) > 0 {
+		t.lockMu.Lock()
+		clear(t.readLocks)
+		t.readLocks = t.readLocks[:0]
+		t.lockMu.Unlock()
+	}
+}
+
+// ID returns the transaction's unique identifier. Readers that obtained this
+// object from the transaction table and then read its state or end timestamp
+// should call ID again afterwards: a changed value means the object was
+// recycled, so the transaction they looked up has terminated and the version
+// word that named it must be reread.
+func (t *Txn) ID() uint64 { return t.id.Load() }
+
+// Begin returns the begin timestamp.
+func (t *Txn) Begin() uint64 { return t.begin.Load() }
 
 // State returns the current lifecycle state.
 func (t *Txn) State() State { return State(t.state.Load()) }
@@ -188,7 +243,7 @@ func (t *Txn) RegisterDependent(dep *Txn) DepResult {
 		return DepAborted
 	}
 	dep.commitDepCounter.Add(1)
-	t.commitDepSet = append(t.commitDepSet, dep.ID)
+	t.commitDepSet = append(t.commitDepSet, dep.ID())
 	t.mu.Unlock()
 	return DepAdded
 }
@@ -204,8 +259,9 @@ func (t *Txn) ResolveDependents(committed bool, table *Table) {
 	t.mu.Lock()
 	t.depsClosed = true
 	t.committed = committed
+	// Once depsClosed is set no further registrations append, so the slice
+	// can be read outside the lock and left in place for Reset to reuse.
 	deps := t.commitDepSet
-	t.commitDepSet = nil
 	t.mu.Unlock()
 	for _, id := range deps {
 		d, ok := table.Lookup(id)
@@ -230,6 +286,15 @@ func (t *Txn) ResolveDependents(committed bool, table *Table) {
 // dependencies may not wait at all: dependencies are often resolved before
 // it is ready to commit.
 func (t *Txn) WaitCommitDeps() error {
+	// Fast path: all registrations were performed by this transaction's own
+	// goroutine (a dependent registers itself), so a zero counter means no
+	// dependency is outstanding — no lock needed.
+	if t.abortNow.Load() {
+		return ErrAborted
+	}
+	if t.commitDepCounter.Load() <= 0 {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for {
@@ -327,8 +392,9 @@ func (t *Txn) Waiters() []uint64 {
 func (t *Txn) ReleaseWaiters(table *Table) {
 	t.mu.Lock()
 	t.outgoingReleased = true
+	// outgoingReleased blocks further registrations, so the slice can be
+	// read outside the lock and left in place for Reset to reuse.
 	waiters := t.waitingTxnList
-	t.waitingTxnList = nil
 	t.mu.Unlock()
 	for _, id := range waiters {
 		if w, ok := table.Lookup(id); ok {
@@ -355,14 +421,16 @@ func (t *Txn) RecordReadLock(v *storage.Version) {
 	t.lockMu.Unlock()
 }
 
-// TakeReadLocks removes and returns the read-lock list; the owner calls it
-// when releasing all read locks at the end of normal processing.
-func (t *Txn) TakeReadLocks() []*storage.Version {
+// DrainReadLocks moves the read-lock list into dst (reusing its capacity)
+// and empties the list; the owner calls it when releasing all read locks at
+// the end of normal processing.
+func (t *Txn) DrainReadLocks(dst []*storage.Version) []*storage.Version {
 	t.lockMu.Lock()
-	locks := t.readLocks
-	t.readLocks = nil
+	dst = append(dst[:0], t.readLocks...)
+	clear(t.readLocks)
+	t.readLocks = t.readLocks[:0]
 	t.lockMu.Unlock()
-	return locks
+	return dst
 }
 
 // SnapshotReadLocks copies the current read-lock list for the deadlock

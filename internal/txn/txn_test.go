@@ -93,7 +93,7 @@ func TestRegisterAfterResolution(t *testing.T) {
 func TestResolveSkipsMissingDependents(t *testing.T) {
 	tt, t1, t2 := newPair()
 	t2.RegisterDependent(t1)
-	tt.Remove(t1.ID) // t1 already aborted and terminated
+	tt.Remove(t1.ID()) // t1 already aborted and terminated
 	t2.ResolveDependents(true, tt)
 	// No panic, no effect on t1 beyond its own responsibility.
 }
@@ -150,10 +150,10 @@ func TestRegisterWaiterAndRelease(t *testing.T) {
 	if !t2.AddWaitFor() {
 		t.Fatal("AddWaitFor failed")
 	}
-	if !t1.RegisterWaiter(t2.ID) {
+	if !t1.RegisterWaiter(t2.ID()) {
 		t.Fatal("RegisterWaiter failed")
 	}
-	if w := t1.Waiters(); len(w) != 1 || w[0] != t2.ID {
+	if w := t1.Waiters(); len(w) != 1 || w[0] != t2.ID() {
 		t.Fatalf("Waiters = %v", w)
 	}
 	t1.ReleaseWaiters(tt)
@@ -161,7 +161,7 @@ func TestRegisterWaiterAndRelease(t *testing.T) {
 		t.Fatalf("WaitForCount = %d after ReleaseWaiters", t2.WaitForCount())
 	}
 	// Late registration is refused once outgoing deps are released.
-	if t1.RegisterWaiter(t2.ID) {
+	if t1.RegisterWaiter(t2.ID()) {
 		t.Fatal("RegisterWaiter succeeded after ReleaseWaiters")
 	}
 }
@@ -201,7 +201,7 @@ func TestConcurrentDependents(t *testing.T) {
 	wg.Wait()
 	for _, d := range deps {
 		if d.CommitDepCount() != 0 {
-			t.Fatalf("dependent %d count = %d", d.ID, d.CommitDepCount())
+			t.Fatalf("dependent %d count = %d", d.ID(), d.CommitDepCount())
 		}
 	}
 }
@@ -222,6 +222,71 @@ func TestTableLookupRemove(t *testing.T) {
 	}
 	if tt.Len() != 0 {
 		t.Fatalf("Len = %d after remove", tt.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	tt := NewTable()
+	t1 := New(1, 1)
+	t2 := New(2, 2)
+	tt.Register(t1)
+	tt.Register(t2)
+	t2.RegisterDependent(t1) // dirty commitDepSet on t2, counter on t1
+	t1.AddWaitFor()
+	t1.RegisterWaiter(t2.ID())
+	t1.RequestAbort()
+	t1.SetEnd(9)
+	t1.SetState(Terminated)
+	tt.Remove(t1.ID())
+
+	t1.Reset(50, 50)
+	if t1.ID() != 50 || t1.Begin() != 50 {
+		t.Fatalf("identity not reset: id=%d begin=%d", t1.ID(), t1.Begin())
+	}
+	if t1.State() != Active || t1.End() != 0 {
+		t.Fatalf("lifecycle not reset: state=%v end=%d", t1.State(), t1.End())
+	}
+	if t1.AbortRequested() {
+		t.Fatal("abortNow survived Reset")
+	}
+	if t1.CommitDepCount() != 0 || t1.WaitForCount() != 0 || len(t1.Waiters()) != 0 {
+		t.Fatal("dependency state survived Reset")
+	}
+	// The reset object accepts fresh dependencies again.
+	if !t1.AddWaitFor() {
+		t.Fatal("AddWaitFor refused after Reset")
+	}
+	t1.ReleaseWaitFor()
+	if err := t1.WaitWaitFors(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOldestBeginShardMinChurn(t *testing.T) {
+	tt := NewTable()
+	// Register/remove in interleaved order so shard minima are repeatedly
+	// invalidated and rebuilt.
+	txs := make([]*Txn, 0, 200)
+	for i := uint64(1); i <= 200; i++ {
+		tx := New(i, i)
+		txs = append(txs, tx)
+		tt.Register(tx)
+	}
+	for i := 0; i < 200; i += 2 { // remove evens first
+		tt.Remove(txs[i].ID())
+	}
+	if got := tt.OldestBegin(1 << 40); got != 2 {
+		t.Fatalf("OldestBegin = %d, want 2", got)
+	}
+	for i := 1; i < 199; i += 2 {
+		tt.Remove(txs[i].ID())
+	}
+	if got := tt.OldestBegin(1 << 40); got != 200 {
+		t.Fatalf("OldestBegin = %d, want 200", got)
+	}
+	tt.Remove(200)
+	if got := tt.OldestBegin(777); got != 777 {
+		t.Fatalf("empty-table OldestBegin = %d, want fallback", got)
 	}
 }
 
@@ -248,7 +313,7 @@ func TestForEach(t *testing.T) {
 		tt.Register(New(i, i))
 	}
 	seen := make(map[uint64]bool)
-	tt.ForEach(func(tx *Txn) { seen[tx.ID] = true })
+	tt.ForEach(func(tx *Txn) { seen[tx.ID()] = true })
 	if len(seen) != 10 {
 		t.Fatalf("ForEach visited %d", len(seen))
 	}

@@ -47,12 +47,19 @@ type Entry struct {
 	Payload []byte
 }
 
-// Record is a transaction's redo log record.
+// Record is a transaction's redo log record. Append encodes it immediately,
+// so callers may reuse the Record, its Ops slice, and the payload buffers the
+// entries point at as soon as Append returns.
 type Record struct {
 	TxID  uint64
 	EndTS uint64
 	Ops   []Entry
+}
 
+// chunk is one encoded record in flight to the flusher. Buffers are pooled:
+// encoding a record on the hot path allocates nothing in steady state.
+type chunk struct {
+	buf  []byte
 	done chan struct{} // closed when flushed (synchronous mode)
 }
 
@@ -75,10 +82,11 @@ type Config struct {
 
 // Log is a group-commit redo log.
 type Log struct {
-	cfg   Config
-	ch    chan *Record
-	flush chan chan struct{}
-	done  chan struct{}
+	cfg     Config
+	ch      chan *chunk
+	flush   chan chan struct{}
+	done    chan struct{}
+	bufPool sync.Pool
 
 	mu       sync.Mutex
 	closed   bool
@@ -105,31 +113,39 @@ func Open(cfg Config) *Log {
 	}
 	l := &Log{
 		cfg:   cfg,
-		ch:    make(chan *Record, cfg.BufferedRecords),
+		ch:    make(chan *chunk, cfg.BufferedRecords),
 		flush: make(chan chan struct{}),
 		done:  make(chan struct{}),
 	}
+	l.bufPool.New = func() any { return new(chunk) }
 	go l.run()
 	return l
 }
 
-// Append submits a record for group commit. In asynchronous mode it returns
-// as soon as the record is queued; in synchronous mode it waits until the
+// Append submits a record for group commit. The record is encoded before
+// Append returns, so the caller may immediately reuse the record and any
+// payload buffers it references. In asynchronous mode Append returns as soon
+// as the encoded record is queued; in synchronous mode it waits until the
 // record's batch has reached the sink.
 func (l *Log) Append(r *Record) error {
+	c := l.bufPool.Get().(*chunk)
+	c.buf = appendRecord(c.buf[:0], r)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		c.done = nil
+		l.bufPool.Put(c)
 		return ErrClosed
 	}
 	l.appended++
 	l.mu.Unlock()
 	if l.cfg.Synchronous {
-		r.done = make(chan struct{})
+		c.done = make(chan struct{})
 	}
-	l.ch <- r
-	if l.cfg.Synchronous {
-		<-r.done
+	done := c.done
+	l.ch <- c
+	if done != nil {
+		<-done
 		l.mu.Lock()
 		err := l.err
 		l.mu.Unlock()
@@ -177,7 +193,7 @@ func (l *Log) Stats() (appended, flushed, batches, bytes uint64) {
 
 func (l *Log) run() {
 	defer close(l.done)
-	var batch []*Record
+	var batch []*chunk
 	var buf []byte
 	timer := time.NewTimer(l.cfg.FlushInterval)
 	defer timer.Stop()
@@ -186,9 +202,11 @@ func (l *Log) run() {
 		if len(batch) == 0 {
 			return
 		}
+		// Records were encoded at Append; concatenate the frames so the sink
+		// sees one write per group-commit batch, as before.
 		buf = buf[:0]
-		for _, r := range batch {
-			buf = appendRecord(buf, r)
+		for _, c := range batch {
+			buf = append(buf, c.buf...)
 		}
 		var err error
 		if l.cfg.Sink != nil {
@@ -202,22 +220,25 @@ func (l *Log) run() {
 		l.batches++
 		l.bytes += uint64(len(buf))
 		l.mu.Unlock()
-		for _, r := range batch {
-			if r.done != nil {
-				close(r.done)
+		for _, c := range batch {
+			if c.done != nil {
+				close(c.done)
+				c.done = nil
 			}
+			l.bufPool.Put(c)
 		}
+		clear(batch)
 		batch = batch[:0]
 	}
 
 	for {
 		select {
-		case r, ok := <-l.ch:
+		case c, ok := <-l.ch:
 			if !ok {
 				flushBatch()
 				return
 			}
-			batch = append(batch, r)
+			batch = append(batch, c)
 			if len(batch) >= l.cfg.BatchSize {
 				flushBatch()
 			}
@@ -228,13 +249,13 @@ func (l *Log) run() {
 			// Drain whatever is already queued, then flush.
 			for {
 				select {
-				case r, ok := <-l.ch:
+				case c, ok := <-l.ch:
 					if !ok {
 						flushBatch()
 						close(ack)
 						return
 					}
-					batch = append(batch, r)
+					batch = append(batch, c)
 					continue
 				default:
 				}
