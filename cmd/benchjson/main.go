@@ -53,6 +53,12 @@ type File struct {
 	GOMAXPROCS int                   `json:"gomaxprocs"`
 	BenchTime  string                `json:"benchtime"`
 	Results    map[string]Comparison `json:"results"`
+	// ReadOnlyCounterDelta is the number of timestamp-oracle increments
+	// observed across a run of read-only fast-lane transactions (see
+	// measureCounterDelta). The fast lane's contract is zero.
+	ReadOnlyCounterDelta *uint64 `json:"read_only_counter_delta,omitempty"`
+	// ReadOnlyCounterTxns is the number of transactions in that run.
+	ReadOnlyCounterTxns uint64 `json:"read_only_counter_txns,omitempty"`
 }
 
 const (
@@ -122,6 +128,126 @@ func homogeneous(scheme core.Scheme, rows uint64) func(*testing.B) {
 	}
 }
 
+// readMostly is the Figure-5-style read-mostly scenario: 90% read-only
+// snapshot transactions (R=10), 10% updates (R=10, W=2) on the hotspot
+// table. fastLane routes the readers through BeginReadOnly (no oracle
+// increment, no transaction-table registration); otherwise they are regular
+// registered snapshot transactions, which is the before-side of the
+// comparison within one run.
+func readMostly(scheme core.Scheme, fastLane bool) func(*testing.B) {
+	return func(b *testing.B) {
+		db, tbl, err := openDB(scheme, rowsSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		up := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: rowsSmall}, R: 10, W: 2}
+		rd := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: rowsSmall}, R: 10, W: 0}
+		var seed atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(seed.Add(1) * 7919))
+			for pb.Next() {
+				for {
+					var tx *core.Tx
+					var fn bench.TxFn
+					if rng.Intn(10) != 0 {
+						fn = rd.Run
+						if fastLane {
+							tx = db.BeginReadOnly()
+						} else {
+							tx = db.Begin(core.WithIsolation(core.SnapshotIsolation))
+						}
+					} else {
+						fn = up.Run
+						tx = db.Begin(core.WithIsolation(core.ReadCommitted))
+					}
+					if _, err := fn(tx, rng); err != nil {
+						tx.Abort()
+						continue
+					}
+					if tx.Commit() == nil {
+						break
+					}
+				}
+			}
+		})
+		b.StopTimer()
+	}
+}
+
+// largeRow exercises the payload slab arena: the same R=10/W=2 mix over
+// 256-byte rows, which do not fit the version's inline buffer.
+func largeRow(scheme core.Scheme) func(*testing.B) {
+	return func(b *testing.B) {
+		const rows = uint64(10_000)
+		const rowSize = 256
+		db, err := core.Open(core.Config{Scheme: scheme, LogSink: io.Discard})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		tbl, err := workload.Table(db, rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, rowSize)
+		for k := uint64(0); k < rows; k++ {
+			copy(buf, workload.Row(k, k))
+			db.LoadRow(tbl, buf)
+		}
+		runMix(b, db, core.ReadCommitted, func(tx *core.Tx, rng *rand.Rand) (int, error) {
+			reads := 0
+			for i := 0; i < 10; i++ {
+				err := tx.Scan(tbl, 0, rng.Uint64()%rows, nil, func(r core.Row) bool {
+					reads++
+					return false
+				})
+				if err != nil {
+					return reads, err
+				}
+			}
+			local := make([]byte, rowSize)
+			for i := 0; i < 2; i++ {
+				if _, err := tx.UpdateWhere(tbl, 0, rng.Uint64()%rows, nil, func(old []byte) []byte {
+					copy(local, old)
+					return local
+				}); err != nil {
+					return reads, err
+				}
+			}
+			return reads, nil
+		})
+	}
+}
+
+// measureCounterDelta runs n read-only fast-lane transactions on a loaded
+// database and returns how many timestamp-oracle increments they performed
+// in total — the fast lane's contract is exactly zero (Current() is only
+// ever loaded, and read-only commits skip the end-timestamp draw).
+func measureCounterDelta(n int) (uint64, error) {
+	db, tbl, err := openDB(core.MVOptimistic, rowsSmall)
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	rd := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: rowsSmall}, R: 10, W: 0}
+	rng := rand.New(rand.NewSource(1))
+	before := db.MV().Oracle().Current()
+	for i := 0; i < n; i++ {
+		tx := db.BeginReadOnly()
+		if _, err := rd.Run(tx, rng); err != nil {
+			tx.Abort()
+			return 0, fmt.Errorf("read-only txn failed: %w", err)
+		}
+		if err := tx.Commit(); err != nil {
+			return 0, fmt.Errorf("read-only commit failed: %w", err)
+		}
+	}
+	return db.MV().Oracle().Current() - before, nil
+}
+
 func tatpMix(scheme core.Scheme) func(*testing.B) {
 	return func(b *testing.B) {
 		db, err := core.Open(core.Config{Scheme: scheme, LogSink: io.Discard})
@@ -167,6 +293,55 @@ func tatpMix(scheme core.Scheme) func(*testing.B) {
 	}
 }
 
+// tatpBatch is the TATP mix with each worker running its stream through a
+// TxBatch: one oracle draw per 256 transactions, registration only for the
+// writing minority.
+func tatpBatch(scheme core.Scheme) func(*testing.B) {
+	return func(b *testing.B) {
+		db, err := core.Open(core.Config{Scheme: scheme, LogSink: io.Discard})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		td, err := tatp.CreateTables(db, tatpSubs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		td.Load(1)
+		mix := td.Mix(core.ReadCommitted)
+		total := 0
+		for _, m := range mix {
+			total += m.Weight
+		}
+		var seed atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(seed.Add(1) * 104729))
+			batch := db.BeginBatch(256, core.WithIsolation(core.ReadCommitted))
+			defer batch.Close()
+			for pb.Next() {
+				w := rng.Intn(total)
+				var fn bench.TxFn
+				for _, m := range mix {
+					w -= m.Weight
+					if w < 0 {
+						fn = m.Fn
+						break
+					}
+				}
+				tx := batch.Begin()
+				if _, err := fn(tx, rng); err != nil {
+					tx.Abort()
+					continue
+				}
+				_ = tx.Commit()
+			}
+		})
+		b.StopTimer()
+	}
+}
+
 func toResult(r testing.BenchmarkResult) Result {
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
 	tps := 0.0
@@ -187,6 +362,7 @@ func main() {
 	before := flag.String("before", "", "merge this earlier results file as the 'before' column")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement time (testing -benchtime syntax)")
 	quick := flag.Bool("quick", false, "shortcut for -benchtime 100ms (CI smoke)")
+	check := flag.Bool("check", false, "fail (exit 1) if read-only transactions perform any shared-counter increment")
 	flag.Parse()
 
 	if *quick {
@@ -212,26 +388,24 @@ func main() {
 		}
 	}
 
-	benches := []struct {
+	type namedBench struct {
 		name string
 		fn   func(*testing.B)
-	}{}
+	}
+	var benches []namedBench
 	for _, s := range schemes {
 		benches = append(benches,
-			struct {
-				name string
-				fn   func(*testing.B)
-			}{"Fig4Update/" + s.name, homogeneous(s.scheme, rowsLarge)},
-			struct {
-				name string
-				fn   func(*testing.B)
-			}{"Fig5Hotspot/" + s.name, homogeneous(s.scheme, rowsSmall)},
-			struct {
-				name string
-				fn   func(*testing.B)
-			}{"TATP/" + s.name, tatpMix(s.scheme)},
+			namedBench{"Fig4Update/" + s.name, homogeneous(s.scheme, rowsLarge)},
+			namedBench{"Fig5Hotspot/" + s.name, homogeneous(s.scheme, rowsSmall)},
+			namedBench{"TATP/" + s.name, tatpMix(s.scheme)},
+			namedBench{"ReadMostly/" + s.name + "/Registered", readMostly(s.scheme, false)},
+			namedBench{"ReadMostly/" + s.name + "/FastLane", readMostly(s.scheme, true)},
 		)
 	}
+	benches = append(benches,
+		namedBench{"LargeRow/MVO", largeRow(core.MVOptimistic)},
+		namedBench{"TATPBatch/MVO", tatpBatch(core.MVOptimistic)},
+	)
 
 	file := File{
 		GoVersion:  runtime.Version(),
@@ -262,6 +436,18 @@ func main() {
 			bm.name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.TxPerSec)
 	}
 
+	const counterTxns = 10_000
+	fmt.Fprintf(os.Stderr, "measuring read-only shared-counter delta (%d txns)...\n", counterTxns)
+	delta, deltaErr := measureCounterDelta(counterTxns)
+	if deltaErr == nil {
+		file.ReadOnlyCounterDelta = &delta
+		file.ReadOnlyCounterTxns = counterTxns
+		fmt.Fprintf(os.Stderr, "  %d oracle increments across %d read-only txns\n", delta, counterTxns)
+	}
+
+	// Write the results before acting on any failure: a long benchmark run's
+	// data must survive a -check violation so there is something to diagnose
+	// the regression from.
 	enc, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -270,10 +456,17 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if deltaErr != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", deltaErr)
+		os.Exit(1)
+	}
+	if *check && delta != 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: read-only fast lane performed %d shared-counter increments (want 0)\n", delta)
 		os.Exit(1)
 	}
 }

@@ -96,9 +96,11 @@ func run(scheme core.Scheme) {
 				// A transactionally consistent reporting query. Read-only
 				// transactions get a consistent view most cheaply under
 				// snapshot isolation (paper Section 3.4), which is
-				// serializable for read-only work; 1V upgrades it to
-				// repeatable read with locks.
-				tx := db.Begin(core.WithIsolation(core.SnapshotIsolation))
+				// serializable for read-only work. On the MV engines this
+				// takes the registration-free fast lane (no timestamp draw,
+				// no transaction-table entry); 1V falls back to a locking
+				// transaction with writes rejected.
+				tx := db.BeginReadOnly()
 				start := rng.Uint64() % rows
 				failed := false
 				for i := uint64(0); i < rows/scanShare; i++ {

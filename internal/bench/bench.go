@@ -38,6 +38,9 @@ type TxType struct {
 	// Scheme optionally overrides the database's default scheme (mixing
 	// optimistic and pessimistic transactions); nil means default.
 	Scheme *core.Scheme
+	// ReadOnly runs transactions of this type on the registration-free
+	// snapshot fast lane (core.WithReadOnly). The body must not write.
+	ReadOnly bool
 	// Fn is the transaction body.
 	Fn TxFn
 }
@@ -170,12 +173,17 @@ func Run(db *core.Database, types []TxType, opts Options) Result {
 					ti = pick(rng)
 				}
 				t := &types[ti]
-				var txOpts []core.TxOption
-				txOpts = append(txOpts, core.WithIsolation(t.Isolation))
-				if t.Scheme != nil {
-					txOpts = append(txOpts, core.WithScheme(*t.Scheme))
+				var tx *core.Tx
+				if t.ReadOnly {
+					tx = db.BeginReadOnly()
+				} else {
+					var txOpts []core.TxOption
+					txOpts = append(txOpts, core.WithIsolation(t.Isolation))
+					if t.Scheme != nil {
+						txOpts = append(txOpts, core.WithScheme(*t.Scheme))
+					}
+					tx = db.Begin(txOpts...)
 				}
-				tx := db.Begin(txOpts...)
 				reads, err := t.Fn(tx, rng)
 				if err != nil {
 					_ = tx.Abort()

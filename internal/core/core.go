@@ -239,6 +239,7 @@ type txOptions struct {
 	iso       Isolation
 	scheme    Scheme
 	hasScheme bool
+	readOnly  bool
 }
 
 // TxOption configures a transaction at Begin.
@@ -279,9 +280,28 @@ func WithScheme(s Scheme) TxOption {
 	return func(o *txOptions) { o.scheme = s; o.hasScheme = true }
 }
 
+// readOnlyOption is the single prebuilt WithReadOnly closure (hot path,
+// allocation-free like isoOptions).
+var readOnlyOption TxOption = func(o *txOptions) { o.readOnly = true }
+
+// WithReadOnly declares the transaction read-only with a transactionally
+// consistent view. On a multiversion database this selects the
+// registration-free snapshot fast lane: the transaction reads a consistent
+// snapshot without incrementing the timestamp oracle or entering the
+// transaction table (see mv.Engine.BeginReadOnly). On a single-version
+// database it runs at snapshot isolation (upgraded to repeatable read by
+// that engine), so reads are stable there too. Any mutation through a
+// read-only transaction fails with ErrReadOnlyTx; any WithIsolation option
+// is overridden.
+func WithReadOnly() TxOption { return readOnlyOption }
+
 // ErrUnsupported is returned for operations the backing engine cannot
 // perform.
 var ErrUnsupported = errors.New("core: operation unsupported by engine")
+
+// ErrReadOnlyTx is returned when a mutation is attempted through a
+// read-only transaction.
+var ErrReadOnlyTx = mv.ErrReadOnlyTx
 
 // ErrTxDone is returned when operating on a transaction handle after Commit
 // or Abort has returned (handles are pooled; see Tx).
@@ -295,9 +315,10 @@ var ErrTxDone = mv.ErrTxDone
 // handle would let a retained stale pointer silently operate on another
 // goroutine's transaction instead of erroring.
 type Tx struct {
-	db   *Database
-	mvTx *mv.Tx
-	svTx *sv.Tx
+	db       *Database
+	mvTx     *mv.Tx
+	svTx     *sv.Tx
+	readOnly bool
 }
 
 // Begin starts a transaction.
@@ -306,18 +327,34 @@ func (db *Database) Begin(opts ...TxOption) *Tx {
 	for _, fn := range opts {
 		fn(&o)
 	}
-	tx := &Tx{db: db}
+	tx := &Tx{db: db, readOnly: o.readOnly}
 	if db.mvEng != nil {
+		if o.readOnly {
+			tx.mvTx = db.mvEng.BeginReadOnly()
+			return tx
+		}
 		scheme := mv.Optimistic
 		if o.scheme == MVPessimistic {
 			scheme = mv.Pessimistic
 		}
 		tx.mvTx = db.mvEng.Begin(scheme, o.iso)
 	} else {
-		tx.svTx = db.svEng.Begin(o.iso)
+		iso := o.iso
+		if o.readOnly {
+			// Read-only transactions promise a transactionally consistent
+			// view on every engine: the MV fast lane reads a snapshot, and
+			// 1V must match it with read stability (snapshot isolation,
+			// which the single-version engine upgrades to repeatable read).
+			iso = SnapshotIsolation
+		}
+		tx.svTx = db.svEng.Begin(iso)
 	}
 	return tx
 }
+
+// BeginReadOnly starts a read-only snapshot transaction; shorthand for
+// Begin(WithReadOnly()).
+func (db *Database) BeginReadOnly() *Tx { return db.Begin(readOnlyOption) }
 
 // release clears the engine transaction references so any later call on the
 // handle reports ErrTxDone.
@@ -374,6 +411,9 @@ func (tx *Tx) Lookup(t *Table, index int, key uint64, pred Pred) (Row, bool, err
 
 // Insert adds a new record.
 func (tx *Tx) Insert(t *Table, payload []byte) error {
+	if tx.readOnly {
+		return ErrReadOnlyTx
+	}
 	if tx.mvTx != nil {
 		return tx.mvTx.Insert(t.mvT, payload)
 	}
@@ -385,6 +425,9 @@ func (tx *Tx) Insert(t *Table, payload []byte) error {
 
 // Update replaces the record identified by row with newPayload.
 func (tx *Tx) Update(t *Table, row Row, newPayload []byte) error {
+	if tx.readOnly {
+		return ErrReadOnlyTx
+	}
 	if tx.mvTx != nil {
 		return tx.mvTx.Update(t.mvT, row.mvV, newPayload)
 	}
@@ -396,6 +439,9 @@ func (tx *Tx) Update(t *Table, row Row, newPayload []byte) error {
 
 // Delete removes the record identified by row.
 func (tx *Tx) Delete(t *Table, row Row) error {
+	if tx.readOnly {
+		return ErrReadOnlyTx
+	}
 	if tx.mvTx != nil {
 		return tx.mvTx.Delete(t.mvT, row.mvV)
 	}
@@ -408,6 +454,9 @@ func (tx *Tx) Delete(t *Table, row Row) error {
 // UpdateWhere updates every visible row matching key and pred with mut(old),
 // returning the number updated.
 func (tx *Tx) UpdateWhere(t *Table, index int, key uint64, pred Pred, mut func(old []byte) []byte) (int, error) {
+	if tx.readOnly {
+		return 0, ErrReadOnlyTx
+	}
 	if tx.mvTx != nil {
 		return tx.mvTx.UpdateWhere(t.mvT, index, key, mv.Pred(pred), mut)
 	}
@@ -420,6 +469,9 @@ func (tx *Tx) UpdateWhere(t *Table, index int, key uint64, pred Pred, mut func(o
 // DeleteWhere deletes every visible row matching key and pred, returning the
 // number deleted.
 func (tx *Tx) DeleteWhere(t *Table, index int, key uint64, pred Pred) (int, error) {
+	if tx.readOnly {
+		return 0, ErrReadOnlyTx
+	}
 	if tx.mvTx != nil {
 		return tx.mvTx.DeleteWhere(t.mvT, index, key, mv.Pred(pred))
 	}
@@ -445,6 +497,55 @@ func (tx *Tx) Commit() error {
 	err := tx.svTx.Commit()
 	tx.release()
 	return err
+}
+
+// TxBatch is a facade over mv.TxBatch: a single-worker transaction stream
+// that amortizes one timestamp-oracle draw and (for read-only
+// sub-transactions) all transaction-table registrations over a block of n
+// transactions. On a single-version database it degrades to plain Begins.
+//
+// At most one sub-transaction may be active at a time; finish it before the
+// next Begin, and Close the batch when the stream ends.
+type TxBatch struct {
+	db   *Database
+	mvB  *mv.TxBatch
+	opts txOptions
+}
+
+// BeginBatch prepares a batch drawing timestamps in blocks of n. The
+// options fix the scheme and isolation level for every sub-transaction
+// (WithReadOnly is not meaningful here: use BeginReadOnly for snapshot
+// readers, which are cheaper than any batch).
+func (db *Database) BeginBatch(n int, opts ...TxOption) *TxBatch {
+	o := txOptions{iso: ReadCommitted, scheme: db.cfg.Scheme}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	b := &TxBatch{db: db, opts: o}
+	if db.mvEng != nil {
+		scheme := mv.Optimistic
+		if o.scheme == MVPessimistic {
+			scheme = mv.Pessimistic
+		}
+		b.mvB = db.mvEng.BeginBatch(scheme, o.iso, n)
+	}
+	return b
+}
+
+// Begin starts the next sub-transaction of the batch.
+func (b *TxBatch) Begin() *Tx {
+	if b.mvB != nil {
+		return &Tx{db: b.db, mvTx: b.mvB.Begin()}
+	}
+	return &Tx{db: b.db, svTx: b.db.svEng.Begin(b.opts.iso)}
+}
+
+// Close releases the batch's resources. Every sub-transaction must already
+// be finished.
+func (b *TxBatch) Close() {
+	if b.mvB != nil {
+		b.mvB.Close()
+	}
 }
 
 // Abort rolls the transaction back. The handle must not be used after Abort

@@ -1,0 +1,154 @@
+package core_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func openLoaded(t *testing.T, scheme core.Scheme) (*core.Database, *core.Table) {
+	t.Helper()
+	db, err := core.Open(core.Config{Scheme: scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(p []byte) uint64 { return binary.LittleEndian.Uint64(p) }
+	tbl, err := db.CreateTable(core.TableSpec{
+		Name:    "t",
+		Indexes: []core.IndexSpec{{Name: "pk", Key: key, Buckets: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(k, v uint64) []byte {
+		p := make([]byte, 16)
+		binary.LittleEndian.PutUint64(p, k)
+		binary.LittleEndian.PutUint64(p[8:], v)
+		return p
+	}
+	for k := uint64(0); k < 10; k++ {
+		db.LoadRow(tbl, row(k, k))
+	}
+	return db, tbl
+}
+
+func TestReadOnlyFacade(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.MVOptimistic, core.MVPessimistic, core.SingleVersion} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			db, tbl := openLoaded(t, scheme)
+			defer db.Close()
+
+			tx := db.BeginReadOnly()
+			r, ok, err := tx.Lookup(tbl, 0, 3, nil)
+			if err != nil || !ok {
+				t.Fatalf("lookup: ok=%v err=%v", ok, err)
+			}
+			if v := binary.LittleEndian.Uint64(r.Payload()[8:]); v != 3 {
+				t.Fatalf("value %d, want 3", v)
+			}
+			if err := tx.Insert(tbl, make([]byte, 16)); err != core.ErrReadOnlyTx {
+				t.Fatalf("Insert = %v, want ErrReadOnlyTx", err)
+			}
+			if err := tx.Update(tbl, r, make([]byte, 16)); err != core.ErrReadOnlyTx {
+				t.Fatalf("Update = %v, want ErrReadOnlyTx", err)
+			}
+			if err := tx.Delete(tbl, r); err != core.ErrReadOnlyTx {
+				t.Fatalf("Delete = %v, want ErrReadOnlyTx", err)
+			}
+			if _, err := tx.UpdateWhere(tbl, 0, 3, nil, func(old []byte) []byte { return old }); err != core.ErrReadOnlyTx {
+				t.Fatalf("UpdateWhere = %v, want ErrReadOnlyTx", err)
+			}
+			if _, err := tx.DeleteWhere(tbl, 0, 3, nil); err != core.ErrReadOnlyTx {
+				t.Fatalf("DeleteWhere = %v, want ErrReadOnlyTx", err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReadOnlyFastLaneCounters(t *testing.T) {
+	db, tbl := openLoaded(t, core.MVOptimistic)
+	defer db.Close()
+
+	before := db.MV().Oracle().Current()
+	for i := 0; i < 50; i++ {
+		tx := db.Begin(core.WithReadOnly())
+		if _, _, err := tx.Lookup(tbl, 0, uint64(i)%10, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := db.MV().Oracle().Current(); after != before {
+		t.Fatalf("read-only facade moved the counter: %d -> %d", before, after)
+	}
+	if s := db.MV().Stats(); s.ReadOnlyBegins != 50 {
+		t.Fatalf("ReadOnlyBegins = %d, want 50", s.ReadOnlyBegins)
+	}
+}
+
+// TestReadOnlySingleVersionReadStability pins the 1V semantics of
+// WithReadOnly: the transaction must hold read locks (snapshot isolation is
+// upgraded to repeatable read), so a concurrent writer cannot slip an
+// update under a row the reader has seen. A read-only transaction at the
+// 1V default (read committed) would let the update through.
+func TestReadOnlySingleVersionReadStability(t *testing.T) {
+	db, tbl := openLoaded(t, core.SingleVersion)
+	defer db.Close()
+
+	ro := db.BeginReadOnly()
+	if _, ok, err := ro.Lookup(tbl, 0, 1, nil); err != nil || !ok {
+		t.Fatalf("lookup: ok=%v err=%v", ok, err)
+	}
+	w := db.Begin()
+	_, err := w.UpdateWhere(tbl, 0, 1, nil, func(old []byte) []byte {
+		return append([]byte(nil), old...)
+	})
+	if err == nil {
+		err = w.Commit()
+	} else {
+		_ = w.Abort()
+	}
+	if err == nil {
+		t.Fatal("writer updated a row read-locked by a read-only transaction")
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchFacade(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.MVOptimistic, core.MVPessimistic, core.SingleVersion} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			db, tbl := openLoaded(t, scheme)
+			defer db.Close()
+
+			b := db.BeginBatch(16, core.WithIsolation(core.ReadCommitted))
+			defer b.Close()
+			for i := 0; i < 40; i++ {
+				tx := b.Begin()
+				if i%4 == 0 {
+					k := uint64(i % 10)
+					if _, err := tx.UpdateWhere(tbl, 0, k, nil, func(old []byte) []byte {
+						p := append([]byte(nil), old...)
+						binary.LittleEndian.PutUint64(p[8:], binary.LittleEndian.Uint64(old[8:])+1)
+						return p
+					}); err != nil {
+						tx.Abort()
+						continue
+					}
+				} else if _, _, err := tx.Lookup(tbl, 0, uint64(i)%10, nil); err != nil {
+					tx.Abort()
+					continue
+				}
+				if err := tx.Commit(); err != nil && scheme != core.SingleVersion {
+					t.Fatalf("txn %d: %v", i, err)
+				}
+			}
+		})
+	}
+}

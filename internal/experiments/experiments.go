@@ -236,6 +236,52 @@ func (c Config) readMix(id, title string, n uint64) *Report {
 	return rep
 }
 
+// ReadMostly is a Figure-5-style read-mostly scenario (90% read-only
+// snapshot transactions, 10% R=10/W=2 updates on the hotspot table) that
+// exercises the registration-free read-only fast lane: for each MV scheme
+// it reports throughput with the readers on the regular registered path and
+// on the fast lane (BeginReadOnly — no oracle increment, no transaction-
+// table entry). It has no counterpart figure in the paper; it isolates the
+// shared-counter cost the paper's Section 6 identifies as the only
+// unavoidable critical section.
+func (c Config) ReadMostly() *Report {
+	mvSchemes := []core.Scheme{core.MVPessimistic, core.MVOptimistic}
+	rep := &Report{
+		ID:      "Read-mostly",
+		Title:   fmt.Sprintf("Read-mostly fast lane (90%% read-only R=10, 10%% update R=10/W=2, N=%d)", c.NSmall),
+		Columns: []string{"MPL", "MV/L", "MV/L fast", "MV/O", "MV/O fast"},
+	}
+	series := make([]Series, 0, 2*len(mvSchemes))
+	for _, s := range mvSchemes {
+		series = append(series, Series{Label: s.String()}, Series{Label: s.String() + " fast"})
+	}
+	for _, mpl := range c.MPLs {
+		row := []string{fmt.Sprint(mpl)}
+		si := 0
+		for _, scheme := range mvSchemes {
+			for _, fast := range []bool{false, true} {
+				db, tbl := c.loadUniform(scheme, c.NSmall)
+				up := updateMix(tbl, c.NSmall, core.ReadCommitted)
+				up.Weight = 10
+				rd := readOnlyMix(tbl, c.NSmall, core.SnapshotIsolation)
+				rd.Weight = 90
+				rd.ReadOnly = fast
+				res := bench.Run(db, []bench.TxType{up, rd},
+					bench.Options{Workers: mpl, Duration: c.Duration, Warmup: c.Warmup, Seed: c.Seed})
+				db.Close()
+				tps := res.TPS()
+				series[si].X = append(series[si].X, float64(mpl))
+				series[si].Y = append(series[si].Y, tps)
+				row = append(row, f0(tps))
+				si++
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Series = series
+	return rep
+}
+
 // longReaderResults runs the Section 5.2.2 experiment once per x value and
 // scheme, returning update tx/s and reader rows/s.
 func (c Config) longReaderResults() (update, reads []Series) {
@@ -348,16 +394,18 @@ func (c Config) All() []*Report {
 	var out []*Report
 	out = append(out, c.Fig4(), c.Fig5(), c.Table3(), c.Fig6(), c.Fig7())
 	f8, f9 := c.Fig8And9()
-	out = append(out, f8, f9, c.Table4())
+	out = append(out, f8, f9, c.Table4(), c.ReadMostly())
 	return out
 }
 
 // ByID runs the experiment with the given identifier (fig4, fig5, table3,
-// fig6, fig7, fig8, fig9, table4, all).
+// fig6, fig7, fig8, fig9, table4, readmostly, all).
 func (c Config) ByID(id string) ([]*Report, error) {
 	switch id {
 	case "fig4":
 		return []*Report{c.Fig4()}, nil
+	case "readmostly":
+		return []*Report{c.ReadMostly()}, nil
 	case "fig5":
 		return []*Report{c.Fig5()}, nil
 	case "table3":

@@ -1,0 +1,86 @@
+package gc
+
+import "sync/atomic"
+
+// pinSlots is the number of concurrent anonymous readers the pin table can
+// track. Overflow is handled by the caller (fall back to transaction-table
+// registration), so the constant only bounds the fast path, not correctness.
+const pinSlots = 128
+
+// pinSlot is one published read timestamp, padded to a cache line so
+// neighbouring pins don't false-share under concurrent Acquire/Release.
+type pinSlot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// ReaderPins publishes the read timestamps of transactions that are NOT
+// registered in the transaction table: read-only snapshot readers and
+// lazily-registered batch transactions. The garbage collector folds the
+// minimum pinned timestamp into its watermark, so versions (and pooled
+// transaction objects) such a reader can still see are never recycled under
+// it.
+//
+// Protocol (the ordering matters; Go atomics are sequentially consistent):
+//
+//	reader: p := oracle.Current()     // provisional pin
+//	        slot := pins.Acquire(p)   // publish BEFORE choosing a read time
+//	        rt := oracle.Current()    // actual read time, rt >= p
+//	gc:     cur := oracle.Current()   // BEFORE scanning pins
+//	        wm := pins.Min(min(tableMinima, cur))
+//
+// If the collector's scan observes the pin, wm <= p <= rt. If it misses the
+// pin, the scan's load of the slot precedes the reader's store in the total
+// order, so the collector's earlier Current() load precedes the reader's
+// later one: rt >= cur >= wm. Either way wm <= rt, and a version is only
+// garbage when its end timestamp is <= wm, which the reader (visibility
+// requires rt < end) could never see. The same argument covers pointers the
+// reader already holds: recycling a version or transaction object stamped at
+// S requires wm > S, and S is always drawn after the pin value, so S >= p.
+type ReaderPins struct {
+	slots [pinSlots]pinSlot
+	next  atomic.Uint32
+	full  atomic.Uint64
+}
+
+// Acquire claims a free slot, publishes rt in it, and returns the slot
+// index, or -1 when every slot is occupied (the caller must then fall back
+// to a mechanism the watermark can see, e.g. table registration). rt of 0
+// (pristine oracle) is promoted to 1 so the slot never looks free; nothing
+// is visible at read time 0, so the stricter pin is harmless.
+func (p *ReaderPins) Acquire(rt uint64) int {
+	if rt == 0 {
+		rt = 1
+	}
+	start := p.next.Add(1)
+	for i := uint32(0); i < pinSlots; i++ {
+		s := &p.slots[(start+i)%pinSlots].v
+		if s.Load() == 0 && s.CompareAndSwap(0, rt) {
+			return int((start + i) % pinSlots)
+		}
+	}
+	p.full.Add(1)
+	return -1
+}
+
+// Release frees a slot returned by Acquire. The owner must have finished
+// every read that depended on the pin.
+func (p *ReaderPins) Release(slot int) {
+	p.slots[slot].v.Store(0)
+}
+
+// Min folds the pinned timestamps into bound: it returns the smallest
+// occupied pin, or bound if no pin is smaller. The collector calls this
+// AFTER loading the oracle (see the type comment for why the order matters).
+func (p *ReaderPins) Min(bound uint64) uint64 {
+	m := bound
+	for i := range p.slots {
+		if v := p.slots[i].v.Load(); v != 0 && v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Overflows reports how many Acquire calls found every slot occupied.
+func (p *ReaderPins) Overflows() uint64 { return p.full.Load() }

@@ -1,0 +1,95 @@
+package gc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPinsAcquireReleaseMin(t *testing.T) {
+	var p ReaderPins
+	if m := p.Min(100); m != 100 {
+		t.Fatalf("empty Min = %d, want bound 100", m)
+	}
+	a := p.Acquire(40)
+	b := p.Acquire(60)
+	if a < 0 || b < 0 {
+		t.Fatalf("Acquire failed with free slots: %d %d", a, b)
+	}
+	if m := p.Min(100); m != 40 {
+		t.Fatalf("Min = %d, want 40", m)
+	}
+	if m := p.Min(30); m != 30 {
+		t.Fatalf("Min with smaller bound = %d, want 30", m)
+	}
+	p.Release(a)
+	if m := p.Min(100); m != 60 {
+		t.Fatalf("Min after release = %d, want 60", m)
+	}
+	p.Release(b)
+	if m := p.Min(100); m != 100 {
+		t.Fatalf("Min after all released = %d, want 100", m)
+	}
+}
+
+func TestPinsZeroPromoted(t *testing.T) {
+	var p ReaderPins
+	s := p.Acquire(0)
+	if s < 0 {
+		t.Fatal("Acquire(0) failed")
+	}
+	// The slot must not look free (value 0 is the free sentinel).
+	if m := p.Min(100); m != 1 {
+		t.Fatalf("Min = %d, want promoted pin 1", m)
+	}
+	p.Release(s)
+}
+
+func TestPinsOverflow(t *testing.T) {
+	var p ReaderPins
+	slots := make([]int, 0, pinSlots)
+	for i := 0; i < pinSlots; i++ {
+		s := p.Acquire(uint64(i + 1))
+		if s < 0 {
+			t.Fatalf("Acquire %d failed before the table was full", i)
+		}
+		slots = append(slots, s)
+	}
+	if s := p.Acquire(999); s != -1 {
+		t.Fatalf("Acquire on full table = %d, want -1", s)
+	}
+	if p.Overflows() != 1 {
+		t.Fatalf("Overflows = %d, want 1", p.Overflows())
+	}
+	p.Release(slots[17])
+	if s := p.Acquire(999); s < 0 {
+		t.Fatal("Acquire after release failed")
+	}
+}
+
+func TestPinsConcurrent(t *testing.T) {
+	var p ReaderPins
+	const workers = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rt := uint64(w*iters + i + 1)
+				s := p.Acquire(rt)
+				if s < 0 {
+					continue // table momentarily full; acceptable
+				}
+				if m := p.Min(rt + 1000); m > rt {
+					t.Errorf("Min = %d > own pin %d", m, rt)
+				}
+				p.Release(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m := p.Min(42); m != 42 {
+		t.Fatalf("Min after quiesce = %d, want 42", m)
+	}
+}

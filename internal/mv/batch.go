@@ -1,0 +1,97 @@
+package mv
+
+// TxBatch amortizes transaction startup costs over a stream of transactions
+// executed sequentially by a single worker (a TATP-style client loop). Two
+// global touches are batched away:
+//
+//   - The timestamp oracle: one Oracle.NextN draw reserves a block of n ids,
+//     handed out locally; the paper's single critical section (Section 6) is
+//     hit once per block instead of once per Begin.
+//   - The transaction table: sub-transactions begin unregistered and only
+//     register lazily, just before the first action that publishes their ID
+//     (write, bucket lock, commit dependency). Read-only sub-transactions in
+//     a read-mostly stream therefore never touch the table at all; their
+//     snapshots are protected by the batch's reader pin, which the GC
+//     watermark respects (see gc.ReaderPins).
+//
+// A batch is single-goroutine: at most one sub-transaction may be active at
+// a time, and it must be finished (Commit or Abort) before the next Begin.
+// Close releases the pin; sub-transactions already finished need nothing
+// further, and the ids left unused in the current block are simply never
+// issued.
+type TxBatch struct {
+	e      *Engine
+	scheme Scheme
+	iso    Isolation
+	// next and limit delimit the unissued remainder of the reserved block.
+	next, limit uint64
+	blockN      uint64
+	// pin is the reader-pin slot covering the block's snapshots, or -1 when
+	// the pin table overflowed (Begin then degrades to plain Begins until a
+	// slot frees up; see reserve).
+	pin int
+}
+
+// BeginBatch prepares a batch that draws ids in blocks of n. All
+// sub-transactions share the scheme and isolation level.
+func (e *Engine) BeginBatch(scheme Scheme, iso Isolation, n int) *TxBatch {
+	if n < 1 {
+		n = 1
+	}
+	b := &TxBatch{e: e, scheme: scheme, iso: iso, blockN: uint64(n), pin: -1}
+	b.reserve()
+	return b
+}
+
+// reserve pins the watermark and draws a fresh id block. The pin is
+// published BEFORE the block draw so every id in the block (a sub-
+// transaction's begin timestamp and snapshot) is at or above the pin; the
+// previous pin, if any, protects no live sub-transaction by the time
+// reserve runs (the batch is between sub-transactions) and is released
+// after the new one is in place.
+//
+// On pin-table overflow no block is drawn at all: a pre-reserved id goes
+// stale as the counter advances, and with no pin to hold the watermark, a
+// later sub-transaction registering with that stale begin timestamp could
+// start BELOW the watermark — versions its snapshot needs might already be
+// recycled. Begin then falls back to plain Begins (fresh id, eager
+// registration), which are safe by construction.
+func (b *TxBatch) reserve() {
+	pin := b.e.oracle.Current()
+	slot := b.e.pins.Acquire(pin)
+	if b.pin >= 0 {
+		b.e.pins.Release(b.pin)
+	}
+	b.pin = slot
+	if slot < 0 {
+		b.e.pinOverflows.Add(1)
+		b.next, b.limit = 0, 0
+		return
+	}
+	start := b.e.oracle.NextN(b.blockN)
+	b.next, b.limit = start, start+b.blockN
+}
+
+// Begin starts the next sub-transaction. The previous one must be finished.
+func (b *TxBatch) Begin() *Tx {
+	if b.next >= b.limit {
+		b.reserve()
+		if b.pin < 0 {
+			return b.e.Begin(b.scheme, b.iso)
+		}
+	}
+	id := b.next
+	b.next++
+	tx := b.e.getTx(id, id, b.scheme, b.iso)
+	return tx
+}
+
+// Close releases the batch's reader pin. Every sub-transaction must already
+// be finished. The batch must not be used afterwards.
+func (b *TxBatch) Close() {
+	if b.pin >= 0 {
+		b.e.pins.Release(b.pin)
+		b.pin = -1
+	}
+	b.next = b.limit
+}

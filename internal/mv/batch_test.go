@@ -1,0 +1,256 @@
+package mv
+
+// Tests for the batched Begin/Commit path: block timestamp draws, lazy
+// transaction-table registration, and correctness of writes issued through
+// a batch.
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func TestBatchAmortizesOracleAndRegistration(t *testing.T) {
+	e := NewEngine(Config{DeadlockInterval: -1})
+	defer e.Close()
+	tbl := roTable(t, e, 16)
+
+	const blockN = 64
+	const txns = 100 // spans two blocks
+	before := e.Oracle().Current()
+	b := e.BeginBatch(Optimistic, ReadCommitted, blockN)
+	for i := 0; i < txns; i++ {
+		tx := b.Begin()
+		if tx.registered {
+			t.Fatal("read sub-transaction registered eagerly")
+		}
+		if n := e.TxnTable().Len(); n != 0 {
+			t.Fatalf("txn table has %d entries during a read sub-txn", n)
+		}
+		v, ok, err := tx.Lookup(tbl, 0, uint64(i)%16, nil)
+		if err != nil || !ok || !stressRowOK(v.Payload) {
+			t.Fatalf("lookup: ok=%v err=%v", ok, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	// 100 transactions span two blocks, so the counter moved by exactly two
+	// block draws and nothing else (reads never draw an end timestamp).
+	delta := e.Oracle().Current() - before
+	if delta != 2*blockN {
+		t.Fatalf("counter delta = %d, want %d (two block draws)", delta, 2*blockN)
+	}
+}
+
+func TestBatchWritersRegisterLazilyAndCommit(t *testing.T) {
+	e := NewEngine(Config{DeadlockInterval: -1})
+	defer e.Close()
+	tbl := roTable(t, e, 16)
+
+	b := e.BeginBatch(Optimistic, ReadCommitted, 32)
+	defer b.Close()
+
+	tx := b.Begin()
+	v, _, err := tx.Lookup(tbl, 0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.registered {
+		t.Fatal("registered before first write")
+	}
+	if err := tx.Update(tbl, v, stressRow(3, 777)); err != nil {
+		t.Fatal(err)
+	}
+	if !tx.registered {
+		t.Fatal("write did not register the sub-transaction")
+	}
+	if n := e.TxnTable().Len(); n != 1 {
+		t.Fatalf("txn table has %d entries during the writer, want 1", n)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.TxnTable().Len(); n != 0 {
+		t.Fatalf("txn table has %d entries after commit", n)
+	}
+
+	// The write is durable within the engine and ids stay unique: a second
+	// sub-transaction and a plain transaction both see it.
+	tx2 := b.Begin()
+	got, _, err := tx2.Lookup(tbl, 0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val := binary.LittleEndian.Uint64(got.Payload[8:]); val != 777 {
+		t.Fatalf("batch reader sees %d, want 777", val)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	plain := e.Begin(Optimistic, ReadCommitted)
+	got, _, err = plain.Lookup(tbl, 0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val := binary.LittleEndian.Uint64(got.Payload[8:]); val != 777 {
+		t.Fatalf("plain reader sees %d, want 777", val)
+	}
+	if err := plain.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchAbortAndSerializableSubTxn(t *testing.T) {
+	e := NewEngine(Config{DeadlockInterval: -1})
+	defer e.Close()
+	tbl := roTable(t, e, 16)
+
+	// Serializable optimistic sub-txns exercise the validation path (which
+	// draws an end timestamp) from a lazily-registered start.
+	b := e.BeginBatch(Optimistic, Serializable, 8)
+	defer b.Close()
+	tx := b.Begin()
+	v, _, err := tx.Lookup(tbl, 0, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update(tbl, v, stressRow(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if n := e.TxnTable().Len(); n != 0 {
+		t.Fatalf("txn table has %d entries after abort", n)
+	}
+
+	tx2 := b.Begin()
+	got, _, err := tx2.Lookup(tbl, 0, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val := binary.LittleEndian.Uint64(got.Payload[8:]); val != 5 {
+		t.Fatalf("aborted write leaked: %d, want 5", val)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchPinOverflowFallsBackToPlainBegins pins the overflow semantics:
+// with every reader-pin slot occupied, a batch must NOT hand out ids from a
+// pre-drawn block (with no pin holding the watermark, a stale id could
+// register below it); it degrades to plain Begins with fresh ids, and
+// resumes block mode once a slot frees up.
+func TestBatchPinOverflowFallsBackToPlainBegins(t *testing.T) {
+	e := NewEngine(Config{DeadlockInterval: -1})
+	defer e.Close()
+	tbl := roTable(t, e, 8)
+
+	// Occupy every pin slot with fast-lane readers; the first fallback
+	// (registered) reader signals the table is full.
+	var pinned []*Tx
+	for {
+		tx := e.BeginReadOnly()
+		if tx.pin < 0 {
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		pinned = append(pinned, tx)
+	}
+
+	b := e.BeginBatch(Optimistic, SnapshotIsolation, 32)
+	defer b.Close()
+	before := e.Oracle().Current()
+	tx := b.Begin()
+	if !tx.registered {
+		t.Fatal("overflow sub-transaction is unregistered (unprotected snapshot)")
+	}
+	if tx.T.ID() <= before {
+		t.Fatalf("overflow sub-transaction got a stale id %d (counter was %d)", tx.T.ID(), before)
+	}
+	if _, ok, err := tx.Lookup(tbl, 0, 1, nil); err != nil || !ok {
+		t.Fatalf("lookup: ok=%v err=%v", ok, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Free the pins: the batch should resume block mode.
+	for _, ro := range pinned {
+		if err := ro.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx2 := b.Begin()
+	if tx2.registered {
+		t.Fatal("batch did not resume lazy block mode after pins freed")
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchConcurrentWithWriters runs one batch per worker against plain
+// update traffic with aggressive recycling; -race and the self-verifying
+// payloads catch pin/watermark mistakes.
+func TestBatchConcurrentWithWriters(t *testing.T) {
+	const (
+		rows    = 32
+		batches = 3
+		writers = 2
+		iters   = 2000
+	)
+	e := NewEngine(Config{GCEvery: 1, GCQuota: 128, DeadlockInterval: -1})
+	defer e.Close()
+	tbl := roTable(t, e, rows)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := uint64((w*iters + i) % rows)
+				tx := e.Begin(Pessimistic, ReadCommitted)
+				if _, err := tx.UpdateWhere(tbl, 0, k, nil, func(old []byte) []byte {
+					return stressRow(k, binary.LittleEndian.Uint64(old[8:])+1)
+				}); err != nil {
+					tx.Abort()
+					continue
+				}
+				_ = tx.Commit()
+			}
+		}(w)
+	}
+	for bi := 0; bi < batches; bi++ {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			b := e.BeginBatch(Optimistic, SnapshotIsolation, 64)
+			defer b.Close()
+			for i := 0; i < iters; i++ {
+				k := uint64((bi*iters + i) % rows)
+				tx := b.Begin()
+				v, ok, err := tx.Lookup(tbl, 0, k, nil)
+				if err != nil || !ok {
+					t.Errorf("batch lookup: ok=%v err=%v", ok, err)
+					tx.Abort()
+					return
+				}
+				if !stressRowOK(v.Payload) {
+					t.Error("batch reader saw a corrupt payload")
+					tx.Abort()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("batch commit: %v", err)
+					return
+				}
+			}
+		}(bi)
+	}
+	wg.Wait()
+}

@@ -23,6 +23,9 @@ func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
+	if tx.fastCommittable() {
+		return tx.commitFast()
+	}
 
 	// End of normal processing (Section 4.3.1): release read locks and
 	// bucket locks. Purely optimistic transactions hold none.
@@ -114,7 +117,9 @@ func (tx *Tx) Commit() error {
 	// Report to dependents, then leave the transaction table.
 	tx.T.ResolveDependents(true, tx.e.txns)
 	tx.T.SetState(txn.Terminated)
-	tx.e.txns.Remove(tx.T.ID())
+	if tx.registered {
+		tx.e.txns.Remove(tx.T.ID())
+	}
 
 	// Old versions are now superseded; assign them to the garbage
 	// collector.
@@ -127,6 +132,54 @@ func (tx *Tx) Commit() error {
 
 	tx.done = true
 	tx.e.commits.Add(1)
+	tx.e.finishTx(tx)
+	return nil
+}
+
+// fastCommittable reports whether the transaction can commit without
+// drawing an end timestamp. A transaction that wrote nothing, holds no read
+// or bucket locks, and needs no validation never publishes an end timestamp
+// anywhere: no version word names it, no bucket-lock holder list contains
+// it, and it can receive neither wait-for dependencies nor dependents (both
+// require its ID to have been published). Its commit point is therefore
+// unordered with respect to every other transaction, and the oracle draw —
+// the paper's single shared critical section — can be skipped entirely.
+//
+// Read-only fast-lane transactions always qualify (they cannot write or take
+// locks); so do read-committed/snapshot read transactions from the regular
+// and batch Begin paths. Optimistic repeatable-read/serializable readers do
+// not: validation compares against an end timestamp (Section 3.2).
+func (tx *Tx) fastCommittable() bool {
+	if len(tx.writeSet) > 0 || tx.tookLocks || len(tx.bucketLocks) > 0 {
+		return false
+	}
+	if tx.scheme == Optimistic && (tx.iso == RepeatableRead || tx.iso == Serializable) {
+		return false
+	}
+	return true
+}
+
+// commitFast commits a transaction that fastCommittable approved: no end
+// timestamp, no preparation phase, no postprocessing. Outstanding commit
+// dependencies from speculative reads are still honored.
+func (tx *Tx) commitFast() error {
+	if tx.T.AbortRequested() {
+		tx.e.cascadingAborts.Add(1)
+		tx.abortInternal()
+		return ErrAborted
+	}
+	if err := tx.T.WaitCommitDeps(); err != nil {
+		tx.e.cascadingAborts.Add(1)
+		tx.abortInternal()
+		return ErrAborted
+	}
+	tx.T.SetState(txn.Terminated)
+	if tx.registered {
+		tx.e.txns.Remove(tx.T.ID())
+	}
+	tx.done = true
+	tx.e.commits.Add(1)
+	tx.e.fastCommits.Add(1)
 	tx.e.finishTx(tx)
 	return nil
 }
@@ -182,7 +235,9 @@ func (tx *Tx) abortInternal() {
 	// Cascade: dependents must also abort (Section 2.7).
 	tx.T.ResolveDependents(false, tx.e.txns)
 	tx.T.SetState(txn.Terminated)
-	tx.e.txns.Remove(tx.T.ID())
+	if tx.registered {
+		tx.e.txns.Remove(tx.T.ID())
+	}
 
 	// The new versions are garbage immediately; unlink them.
 	for i := range tx.writeSet {

@@ -14,9 +14,24 @@ type detectorSource Engine
 // WaitingTxnLists, and implicit edges from read-locked versions (a wait-for
 // dependency on a read-locked version stands for dependencies on every
 // transaction holding a read lock on it, recovered from read sets).
+//
+// The walk is epoch-pinned: a reader pin taken before the table iteration
+// keeps the GC watermark below every transaction observed during the walk
+// (removal stamps are drawn after the pin, so the graveyard cannot drain
+// them), which means no collected pointer can be recycled mid-iteration.
+// Without the pin a Txn could be Reset to a new identity between collection
+// and the Blocked/Waiters reads; identity revalidation downstream kept that
+// benign (worst case a spurious abort of the wrong incarnation was
+// prevented by RunOnce's StillBlocked recheck), but the pin removes the
+// window entirely. If the pin table is full the walk proceeds unpinned,
+// degrading to the old benign behavior.
 func (s *detectorSource) Snapshot() *deadlock.Graph {
 	e := (*Engine)(s)
 	g := deadlock.NewGraph()
+
+	if slot := e.pins.Acquire(e.oracle.Current()); slot >= 0 {
+		defer e.pins.Release(slot)
+	}
 
 	var txs []*txn.Txn
 	e.txns.ForEach(func(t *txn.Txn) { txs = append(txs, t) })

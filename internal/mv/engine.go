@@ -97,6 +97,15 @@ type Stats struct {
 	// VersionsRecycled counts version allocations served from the version
 	// pool (recycled by the garbage collector after quiescence).
 	VersionsRecycled uint64
+	// ReadOnlyBegins counts transactions started on the registration-free
+	// read-only fast lane (BeginReadOnly with a pin slot available).
+	ReadOnlyBegins uint64
+	// PinOverflows counts fast-lane attempts that found every reader-pin
+	// slot occupied and fell back to a registered transaction.
+	PinOverflows uint64
+	// FastCommits counts commits that skipped the end-timestamp draw: the
+	// transaction wrote nothing, held no locks, and needed no validation.
+	FastCommits uint64
 }
 
 // Engine is a multiversion main-memory storage engine.
@@ -107,6 +116,12 @@ type Engine struct {
 	gc     *gc.Collector
 	blt    *storage.BucketLockTable
 	det    *deadlock.Detector
+
+	// pins publishes the read times of transactions the transaction table
+	// cannot see — read-only fast-lane readers, lazily-registered batch
+	// transactions, and the deadlock detector's iteration epoch — so the GC
+	// watermark never passes them. See gc.ReaderPins for the protocol.
+	pins gc.ReaderPins
 
 	tablesMu sync.RWMutex
 	tables   map[string]*storage.Table
@@ -128,6 +143,10 @@ type Engine struct {
 	graveyard  []deadTx
 	gravHead   int
 	txRecycled atomic.Uint64
+
+	roBegins     atomic.Uint64
+	pinOverflows atomic.Uint64
+	fastCommits  atomic.Uint64
 
 	commits          atomic.Uint64
 	aborts           atomic.Uint64
@@ -171,7 +190,11 @@ func NewEngine(cfg Config) *Engine {
 		tables: make(map[string]*storage.Table),
 	}
 	e.gc = gc.NewCollector(func() uint64 {
-		return e.txns.OldestBegin(e.oracle.Current())
+		// Load the clock FIRST, then sweep the table minima and the reader
+		// pins: gc.ReaderPins relies on this order to guarantee the
+		// watermark never passes an unregistered reader's snapshot.
+		cur := e.oracle.Current()
+		return e.pins.Min(e.txns.OldestBegin(cur))
 	})
 	e.gc.SetRecycler(e.oracle.Current, e.vpool.Put)
 	interval := cfg.DeadlockInterval
@@ -220,7 +243,7 @@ func (e *Engine) Table(name string) (*storage.Table, bool) {
 // It is used for initial bulk loading (single-threaded).
 func (e *Engine) LoadRow(t *storage.Table, payload []byte) {
 	tstamp := e.oracle.Next()
-	v := e.vpool.Get(payload, t.NumIndexes(), tstamp, infinityWord)
+	v := e.vpool.GetIn(t.Arena(), payload, t.NumIndexes(), tstamp, infinityWord)
 	t.Insert(v)
 }
 
@@ -248,6 +271,9 @@ func (e *Engine) Stats() Stats {
 		VersionsReclaims: reclaimed,
 		TxRecycled:       e.txRecycled.Load(),
 		VersionsRecycled: e.vpool.Reuses(),
+		ReadOnlyBegins:   e.roBegins.Load(),
+		PinOverflows:     e.pinOverflows.Load(),
+		FastCommits:      e.fastCommits.Load(),
 	}
 	if e.det != nil {
 		s.DeadlockVictims = e.det.Victims()
@@ -262,20 +288,61 @@ func (e *Engine) Stats() Stats {
 // transaction).
 func (e *Engine) Begin(scheme Scheme, iso Isolation) *Tx {
 	id := e.oracle.Next()
+	tx := e.getTx(id, id, scheme, iso)
+	tx.registered = true
+	e.txns.Register(tx.T)
+	return tx
+}
+
+// getTx prepares a transaction object (pooled when possible) with the given
+// identity; the caller decides how (and whether) it is registered.
+func (e *Engine) getTx(id, begin uint64, scheme Scheme, iso Isolation) *Tx {
 	var tx *Tx
 	if pooled, ok := e.txPool.Get().(*Tx); ok {
 		tx = pooled
-		tx.T.Reset(id, id)
+		tx.T.Reset(id, begin)
 		e.txRecycled.Add(1)
 	} else {
-		tx = &Tx{T: txn.New(id, id)}
+		tx = &Tx{T: txn.New(id, begin)}
 	}
 	tx.e = e
 	tx.scheme = scheme
 	tx.iso = iso
 	tx.done = false
 	tx.tookLocks = false
-	e.txns.Register(tx.T)
+	tx.readOnly = false
+	tx.registered = false
+	tx.pin = -1
+	return tx
+}
+
+// BeginReadOnly starts a registration-free read-only snapshot transaction:
+// it reads the oracle without incrementing it and never enters the
+// transaction table, so the only shared state it touches is one reader-pin
+// slot. Combined with the end-timestamp elision in Commit, a read-only
+// transaction performs zero shared-counter increments.
+//
+// The returned Tx reads a consistent snapshot (snapshot isolation, which for
+// a read-only transaction equals serializability) and rejects every mutation
+// with ErrReadOnlyTx. When all pin slots are occupied the engine falls back
+// to a registered snapshot transaction with identical semantics (the
+// fallback draws one timestamp).
+func (e *Engine) BeginReadOnly() *Tx {
+	// Publish a provisional pin BEFORE choosing the snapshot time; see
+	// gc.ReaderPins for why this ordering makes the watermark safe.
+	pin := e.oracle.Current()
+	slot := e.pins.Acquire(pin)
+	if slot < 0 {
+		e.pinOverflows.Add(1)
+		tx := e.Begin(Optimistic, SnapshotIsolation)
+		tx.readOnly = true
+		return tx
+	}
+	rt := e.oracle.Current() // >= pin; the pin covers everything we can read
+	tx := e.getTx(txn.Anonymous, rt, Optimistic, SnapshotIsolation)
+	tx.readOnly = true
+	tx.pin = slot
+	e.roBegins.Add(1)
 	return tx
 }
 
@@ -295,12 +362,24 @@ func (e *Engine) finishTx(tx *Tx) {
 	tx.walRec.Ops = tx.walRec.Ops[:0]
 	tx.holders = tx.holders[:0]
 
-	stamp := e.oracle.Current()
-	e.gravMu.Lock()
-	if len(e.graveyard)-e.gravHead < graveyardCap {
-		e.graveyard = append(e.graveyard, deadTx{tx, stamp})
+	if tx.pin >= 0 {
+		e.pins.Release(tx.pin)
+		tx.pin = -1
 	}
-	e.gravMu.Unlock()
+	if !tx.registered {
+		// The transaction never entered the table and never published its ID
+		// (unregistered transactions cannot write, lock buckets, or register
+		// dependencies), so no stale pointer to it can exist: it is reusable
+		// immediately, no quiescence wait needed.
+		e.txPool.Put(tx)
+	} else {
+		stamp := e.oracle.Current()
+		e.gravMu.Lock()
+		if len(e.graveyard)-e.gravHead < graveyardCap {
+			e.graveyard = append(e.graveyard, deadTx{tx, stamp})
+		}
+		e.gravMu.Unlock()
+	}
 
 	if e.cfg.GCEvery > 0 && e.sinceGC.Add(1)%int64(e.cfg.GCEvery) == 0 {
 		e.collect(e.cfg.GCQuota)

@@ -29,4 +29,7 @@ var (
 	// ErrAborted mirrors txn.ErrAborted: the transaction was told to abort
 	// by a failed commit dependency or the deadlock detector.
 	ErrAborted = errors.New("mv: transaction aborted")
+	// ErrReadOnlyTx is returned when a mutation is attempted on a read-only
+	// snapshot transaction (BeginReadOnly).
+	ErrReadOnlyTx = errors.New("mv: read-only transaction cannot write")
 )

@@ -188,13 +188,16 @@ func (tx *Tx) installWriteLock(v *storage.Version) (wasReadLocked bool, err erro
 }
 
 // lockBucket takes a bucket lock for a serializable pessimistic scan
-// (Section 4.1.2). Locks are idempotent per transaction.
+// (Section 4.1.2). Locks are idempotent per transaction. The holder list
+// publishes the transaction's ID (inserters look holders up to register
+// wait-for dependencies), so a lazily-begun transaction registers first.
 func (tx *Tx) lockBucket(b *storage.Bucket) {
 	for _, held := range tx.bucketLocks {
 		if held == b {
 			return
 		}
 	}
+	tx.ensureRegistered()
 	tx.e.blt.Acquire(b, tx.T.ID())
 	tx.bucketLocks = append(tx.bucketLocks, b)
 }

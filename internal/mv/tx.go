@@ -48,6 +48,20 @@ type Tx struct {
 	iso    Isolation
 	done   bool
 
+	// readOnly marks a snapshot reader from BeginReadOnly: every mutation
+	// fails with ErrReadOnlyTx, and (unless registered, the pin-overflow
+	// fallback) the transaction has no table entry and ID 0.
+	readOnly bool
+	// registered is true once the transaction has an entry in the
+	// transaction table. Batch transactions start unregistered and register
+	// lazily, just before the first action that publishes their ID.
+	registered bool
+	// pin is the reader-pin slot protecting an unregistered transaction's
+	// snapshot from the garbage collector, or -1. Owned by the transaction
+	// for the read-only fast lane; batch transactions are covered by their
+	// batch's pin instead.
+	pin int
+
 	readSet     []*storage.Version
 	scanSet     []scanRecord
 	writeSet    []writeRec
@@ -72,6 +86,24 @@ func (tx *Tx) Scheme() Scheme { return tx.scheme }
 
 // Iso returns the transaction's isolation level.
 func (tx *Tx) Iso() Isolation { return tx.iso }
+
+// ReadOnly reports whether the transaction is a read-only snapshot reader.
+func (tx *Tx) ReadOnly() bool { return tx.readOnly }
+
+// ensureRegistered enters a lazily-begun transaction into the transaction
+// table. It must be called before the first action that publishes the
+// transaction's ID into shared state — installing a write lock, linking a
+// new version, acquiring a bucket lock, or registering a commit dependency —
+// because other transactions resolve such IDs through the table. Until then
+// the transaction is invisible by construction and its snapshot is covered
+// by a reader pin, so deferring registration is free.
+func (tx *Tx) ensureRegistered() {
+	if tx.registered {
+		return
+	}
+	tx.registered = true
+	tx.e.txns.Register(tx.T)
+}
 
 // readTime returns the logical read time for the next read (Sections 3.1,
 // 3.4, 4.3.1): optimistic transactions read as of their begin time except at
@@ -263,7 +295,11 @@ func (tx *Tx) Insert(t *storage.Table, payload []byte) error {
 	if err := tx.checkUsable(); err != nil {
 		return err
 	}
-	v := tx.e.vpool.Get(payload, t.NumIndexes(), field.FromTxID(tx.T.ID()), infinityWord)
+	if tx.readOnly {
+		return ErrReadOnlyTx
+	}
+	tx.ensureRegistered()
+	v := tx.e.vpool.GetIn(t.Arena(), payload, t.NumIndexes(), field.FromTxID(tx.T.ID()), infinityWord)
 	// Inserting into a locked bucket is allowed, but then tx cannot
 	// precommit until the lock holders have completed (Section 4.2.2). This
 	// applies to optimistic transactions too: honoring bucket locks is what
@@ -287,6 +323,10 @@ func (tx *Tx) Update(t *storage.Table, old *storage.Version, newPayload []byte) 
 	if err := tx.checkUsable(); err != nil {
 		return err
 	}
+	if tx.readOnly {
+		return ErrReadOnlyTx
+	}
+	tx.ensureRegistered()
 	wasReadLocked, err := tx.installWriteLock(old)
 	if err != nil {
 		tx.e.writeConflicts.Add(1)
@@ -297,7 +337,7 @@ func (tx *Tx) Update(t *storage.Table, old *storage.Version, newPayload []byte) 
 		// until all read locks on the version are released (Section 4.2.1).
 		tx.T.AddWaitFor()
 	}
-	nv := tx.e.vpool.Get(newPayload, t.NumIndexes(), field.FromTxID(tx.T.ID()), infinityWord)
+	nv := tx.e.vpool.GetIn(t.Arena(), newPayload, t.NumIndexes(), field.FromTxID(tx.T.ID()), infinityWord)
 	for ord := 0; ord < t.NumIndexes(); ord++ {
 		ix := t.Index(ord)
 		if err := tx.bucketInsertDeps(ix.Bucket(ix.Key(newPayload))); err != nil {
@@ -315,6 +355,10 @@ func (tx *Tx) Delete(t *storage.Table, old *storage.Version) error {
 	if err := tx.checkUsable(); err != nil {
 		return err
 	}
+	if tx.readOnly {
+		return ErrReadOnlyTx
+	}
+	tx.ensureRegistered()
 	wasReadLocked, err := tx.installWriteLock(old)
 	if err != nil {
 		tx.e.writeConflicts.Add(1)

@@ -23,6 +23,11 @@ type visOutcome struct {
 // at logical read time rt, implementing the case analyses of Tables 1 and 2.
 // It never blocks: when a Begin or End word holds the ID of a transaction in
 // flux, the outcome is speculative (dep is set) or the word is reread.
+//
+// self may be a reader that is absent from the transaction table (a
+// read-only fast-lane transaction, ID txn.Anonymous): real IDs start at 1,
+// so the own-write comparisons below are trivially false for it and every
+// other case is resolved purely through the writer's table entry.
 func (e *Engine) checkVisibility(self *txn.Txn, v *storage.Version, rt uint64) visOutcome {
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 && attempt%64 == 0 {
@@ -182,6 +187,18 @@ func (tx *Tx) isVisible(v *storage.Version, rt uint64) (bool, error) {
 			// past an unresolved writer.
 			return false, ErrSpeculationDisabled
 		}
+		if tx.readOnly && !tx.registered {
+			// An anonymous reader cannot take a commit dependency: resolution
+			// would look it up in the transaction table. The window is tiny —
+			// dep is mid-Preparing, and it can never wait on us (we hold no
+			// locks and receive no dependencies) — so wait it out and rerun
+			// the test against the final state.
+			runtime.Gosched()
+			continue
+		}
+		// A lazily-begun transaction must be in the table before the target
+		// records our ID as a dependent.
+		tx.ensureRegistered()
 		switch out.dep.RegisterDependent(tx.T) {
 		case txn.DepAdded:
 			tx.e.speculativeReads.Add(1)

@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// arenaMinClass is the smallest slab block: the first power of two above
+	// InlinePayload (smaller payloads live inline in the version).
+	arenaMinClass = 64
+	// arenaMaxClass is the largest slab block; bigger payloads fall back to
+	// the regular allocator and are not recycled.
+	arenaMaxClass = 8 << 10
+	// arenaChunk is the carve source: classes refill by slicing blocks out
+	// of a chunk this large, so steady state does one big allocation per
+	// ~chunk of payload bytes instead of one per row.
+	arenaChunk = 64 << 10
+
+	arenaClasses = 8 // 64, 128, 256, 512, 1024, 2048, 4096, 8192
+)
+
+// PayloadArena is a per-table slab allocator for row payloads larger than
+// InlinePayload. Blocks are size-class segregated, carved from large chunks,
+// and recycled together with their version: VersionPool.Put returns a
+// version's arena block to the class free list, so steady-state update
+// traffic on large rows allocates no payload storage.
+//
+// Safety follows the version recycle contract: a block is only returned
+// once its version is quiesced (unlinked from every index and past the GC
+// watermark), so no transaction that could still read the payload remains.
+type PayloadArena struct {
+	classes [arenaClasses]arenaClass
+	reuses  atomic.Uint64
+}
+
+type arenaClass struct {
+	mu sync.Mutex
+	// free holds recycled blocks, each with cap == the class size.
+	free [][]byte
+	// chunk is the current carve source; refilled when exhausted.
+	chunk []byte
+}
+
+// classFor returns the class index for a payload of n bytes, or -1 when the
+// arena does not serve that size (inline-sized or above arenaMaxClass).
+func classFor(n int) int {
+	if n <= InlinePayload || n > arenaMaxClass {
+		return -1
+	}
+	c, size := 0, arenaMinClass
+	for size < n {
+		size <<= 1
+		c++
+	}
+	return c
+}
+
+// Get returns a block with len n from the appropriate size class, or nil
+// when the arena does not serve n bytes (the caller then falls back to the
+// regular allocator). The block's capacity is the class size, so Put can
+// recover the class from cap alone.
+func (a *PayloadArena) Get(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		return nil
+	}
+	size := arenaMinClass << ci
+	c := &a.classes[ci]
+	c.mu.Lock()
+	if last := len(c.free) - 1; last >= 0 {
+		b := c.free[last]
+		c.free[last] = nil
+		c.free = c.free[:last]
+		c.mu.Unlock()
+		a.reuses.Add(1)
+		return b[:n]
+	}
+	if len(c.chunk) < size {
+		n := arenaChunk
+		if n < size {
+			n = size
+		}
+		c.chunk = make([]byte, n)
+	}
+	b := c.chunk[:size:size]
+	c.chunk = c.chunk[size:]
+	c.mu.Unlock()
+	return b[:n]
+}
+
+// Put recycles a block previously returned by Get. Blocks with a capacity
+// that is not an exact class size are ignored (defensive: they cannot have
+// come from the arena).
+func (a *PayloadArena) Put(b []byte) {
+	size := cap(b)
+	if size < arenaMinClass || size > arenaMaxClass || size&(size-1) != 0 {
+		return
+	}
+	ci := 0
+	for s := arenaMinClass; s < size; s <<= 1 {
+		ci++
+	}
+	c := &a.classes[ci]
+	c.mu.Lock()
+	c.free = append(c.free, b[:0:size])
+	c.mu.Unlock()
+}
+
+// Reuses reports how many Gets were served from recycled blocks.
+func (a *PayloadArena) Reuses() uint64 { return a.reuses.Load() }

@@ -22,12 +22,20 @@ type VersionPool struct {
 // Get returns a version initialized like NewVersion, reusing a recycled
 // object when one is available.
 func (p *VersionPool) Get(payload []byte, nindexes int, begin, end uint64) *Version {
+	return p.GetIn(nil, payload, nindexes, begin, end)
+}
+
+// GetIn is Get with a payload arena (see Version.ResetIn): oversized
+// payloads are copied into a slab block recycled with the version.
+func (p *VersionPool) GetIn(a *PayloadArena, payload []byte, nindexes int, begin, end uint64) *Version {
 	if v, ok := p.pool.Get().(*Version); ok {
 		p.reuses.Add(1)
-		v.Reset(payload, nindexes, begin, end)
+		v.ResetIn(a, payload, nindexes, begin, end)
 		return v
 	}
-	return NewVersion(payload, nindexes, begin, end)
+	v := &Version{}
+	v.ResetIn(a, payload, nindexes, begin, end)
+	return v
 }
 
 // Put hands a quiesced version back for reuse. See the type comment for the
@@ -37,7 +45,12 @@ func (p *VersionPool) Put(v *Version) {
 		return
 	}
 	// Drop the payload reference now: for large (non-inline) payloads this
-	// releases the caller's buffer even while the version sits in the pool.
+	// releases the caller's buffer even while the version sits in the pool,
+	// and arena blocks go back to their slab for the next oversized row.
+	if v.arena != nil {
+		v.arena.Put(v.arenaBuf)
+		v.arena, v.arenaBuf = nil, nil
+	}
 	v.Payload = nil
 	p.pool.Put(v)
 }

@@ -34,7 +34,13 @@ type TableSpec struct {
 type Table struct {
 	Name    string
 	indexes []*Index
+	// arena recycles payload blocks for rows too large for the version's
+	// inline buffer; blocks return to it when versions are recycled.
+	arena PayloadArena
 }
+
+// Arena returns the table's payload slab arena.
+func (t *Table) Arena() *PayloadArena { return &t.arena }
 
 // NewTable builds a table from its spec.
 func NewTable(spec TableSpec) (*Table, error) {

@@ -52,6 +52,11 @@ type Version struct {
 	// the garbage collector, guarding against double unlinks.
 	unlinked atomic.Bool
 
+	// arena and arenaBuf track a payload block borrowed from a table's slab
+	// arena; VersionPool.Put returns the block when the version is recycled.
+	arena    *PayloadArena
+	arenaBuf []byte
+
 	inline [InlinePayload]byte
 }
 
@@ -71,10 +76,34 @@ func NewVersion(payload []byte, nindexes int, begin, end uint64) *Version {
 // unlinked from every index, with every transaction that might still hold a
 // pointer terminated.
 func (v *Version) Reset(payload []byte, nindexes int, begin, end uint64) {
-	if len(payload) <= InlinePayload {
+	v.ResetIn(nil, payload, nindexes, begin, end)
+}
+
+// ResetIn is Reset with a payload arena: payloads too big for the inline
+// buffer are copied into a slab block from a (per-table) arena instead of
+// being retained by reference, so they are recycled with the version. A nil
+// arena, or a payload the arena does not serve, retains the caller's slice
+// as before.
+func (v *Version) ResetIn(a *PayloadArena, payload []byte, nindexes int, begin, end uint64) {
+	if v.arena != nil {
+		// Rearmed without passing through VersionPool.Put: return the old
+		// slab block first (the unreachability contract makes this safe).
+		v.arena.Put(v.arenaBuf)
+		v.arena, v.arenaBuf = nil, nil
+	}
+	switch {
+	case len(payload) <= InlinePayload:
 		v.Payload = v.inline[:len(payload)]
 		copy(v.Payload, payload)
-	} else {
+	case a != nil:
+		if buf := a.Get(len(payload)); buf != nil {
+			copy(buf, payload)
+			v.arena, v.arenaBuf = a, buf
+			v.Payload = buf
+		} else {
+			v.Payload = payload
+		}
+	default:
 		v.Payload = payload
 	}
 	// Clear the whole spill capacity (not just the new length) so a pooled

@@ -22,6 +22,15 @@ func (o *Oracle) Next() uint64 {
 	return o.counter.Add(1)
 }
 
+// NextN atomically reserves n consecutive timestamps and returns the first.
+// A single fetch-and-add amortizes the shared-counter touch over a whole
+// batch of transactions (one worker hands out ids start..start+n-1 itself).
+// Unused tail ids are simply never issued; the sequence stays unique and
+// monotone, which is all the protocol requires.
+func (o *Oracle) NextN(n uint64) uint64 {
+	return o.counter.Add(n) - n + 1
+}
+
 // Current returns the most recently drawn timestamp. It is used as the
 // logical read time of read-committed transactions ("always read the latest
 // committed version", Section 3.4) because every version committed so far

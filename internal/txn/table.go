@@ -33,6 +33,13 @@ const noMin = math.MaxUint64
 // minimum begin timestamp of its entries, maintained on Register/Remove, so
 // OldestBegin is O(shards) atomic loads instead of a locked walk of every
 // entry — the watermark computation stays off the transaction hot path.
+//
+// Registration may be lazy: a transaction that has not yet published its ID
+// into any shared state (version words, bucket-lock holder lists, commit or
+// wait-for dependency sets) is invisible to every lookup, so it may defer
+// Register until just before the first such publication — provided a
+// gc.ReaderPins pin covers its read time in the meantime, since OldestBegin
+// cannot see unregistered transactions.
 type Table struct {
 	shards [tableShards]tableShard
 }

@@ -71,6 +71,15 @@ func (s State) String() string {
 // deadlock detector.
 var ErrAborted = errors.New("txn: abort requested")
 
+// Anonymous is the transaction ID of read-only snapshot readers that never
+// enter the transaction table. Real IDs are drawn from the oracle and start
+// at 1, so 0 can never appear in a version's Begin/End word: the visibility
+// code's "is this my own write?" comparisons are trivially false for an
+// anonymous reader, and no lookup of a real ID can ever resolve to one.
+// Anonymous transactions must instead be covered by a gc.ReaderPins pin so
+// the watermark respects their read time.
+const Anonymous uint64 = 0
+
 // DepResult is the outcome of registering a commit dependency.
 type DepResult int
 
