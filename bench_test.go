@@ -94,6 +94,32 @@ func BenchmarkFig4(b *testing.B) {
 	}
 }
 
+// BenchmarkRangeScan — the range-heavy workload on an ordered primary
+// index: 4 range scans of 100 consecutive rows plus 2 point updates per
+// transaction. No counterpart in the paper (its prototype had only hash
+// indexes); this anchors the ordered access method's regression trajectory.
+func BenchmarkRangeScan(b *testing.B) {
+	for _, s := range benchSchemes {
+		b.Run(s.name, func(b *testing.B) {
+			db, err := core.Open(core.Config{Scheme: s.scheme, LogSink: io.Discard, LockTimeout: 10 * time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tbl, err := workload.OrderedTable(db, benchRowsLarge)
+			if err != nil {
+				b.Fatal(err)
+			}
+			workload.Load(db, tbl, benchRowsLarge)
+			b.Cleanup(func() { db.Close() })
+			rm := workload.RangeMix{
+				Table: tbl, Dist: workload.Uniform{N: benchRowsLarge}, N: benchRowsLarge,
+				Scans: 4, Span: 100, W: 2,
+			}
+			runMix(b, db, core.ReadCommitted, rm.Run)
+		})
+	}
+}
+
 // BenchmarkFig5 — the same workload on the 1,000-row hotspot (Figure 5).
 func BenchmarkFig5(b *testing.B) {
 	for _, s := range benchSchemes {

@@ -59,6 +59,10 @@ type File struct {
 	ReadOnlyCounterDelta *uint64 `json:"read_only_counter_delta,omitempty"`
 	// ReadOnlyCounterTxns is the number of transactions in that run.
 	ReadOnlyCounterTxns uint64 `json:"read_only_counter_txns,omitempty"`
+	// ReadOnlyCounterDelta1V is the same contract measured on the
+	// single-version engine: transaction-ID plus end-sequence increments
+	// across a run of 1V read-only fast-lane transactions. Must be zero.
+	ReadOnlyCounterDelta1V *uint64 `json:"read_only_counter_delta_1v,omitempty"`
 }
 
 const (
@@ -248,6 +252,56 @@ func measureCounterDelta(n int) (uint64, error) {
 	return db.MV().Oracle().Current() - before, nil
 }
 
+// rangeHeavy exercises the ordered-index access path: 4 range scans of 100
+// consecutive rows plus 2 point updates per transaction over an ordered
+// primary index.
+func rangeHeavy(scheme core.Scheme) func(*testing.B) {
+	return func(b *testing.B) {
+		db, err := core.Open(core.Config{Scheme: scheme, LogSink: io.Discard, LockTimeout: 10 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		tbl, err := workload.OrderedTable(db, rowsLarge)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workload.Load(db, tbl, rowsLarge)
+		rm := workload.RangeMix{
+			Table: tbl, Dist: workload.Uniform{N: rowsLarge}, N: rowsLarge,
+			Scans: 4, Span: 100, W: 2,
+		}
+		runMix(b, db, core.ReadCommitted, rm.Run)
+	}
+}
+
+// measureCounterDelta1V runs n read-only fast-lane transactions on a loaded
+// 1V database and returns how many shared-sequence increments (transaction
+// IDs + end timestamps) they performed in total — the fast lane's contract
+// is exactly zero.
+func measureCounterDelta1V(n int) (uint64, error) {
+	db, tbl, err := openDB(core.SingleVersion, rowsSmall)
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	rd := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: rowsSmall}, R: 10, W: 0}
+	rng := rand.New(rand.NewSource(1))
+	txBefore, endBefore := db.SV().Counters()
+	for i := 0; i < n; i++ {
+		tx := db.BeginReadOnly()
+		if _, err := rd.Run(tx, rng); err != nil {
+			tx.Abort()
+			return 0, fmt.Errorf("1V read-only txn failed: %w", err)
+		}
+		if err := tx.Commit(); err != nil {
+			return 0, fmt.Errorf("1V read-only commit failed: %w", err)
+		}
+	}
+	txAfter, endAfter := db.SV().Counters()
+	return (txAfter - txBefore) + (endAfter - endBefore), nil
+}
+
 func tatpMix(scheme core.Scheme) func(*testing.B) {
 	return func(b *testing.B) {
 		db, err := core.Open(core.Config{Scheme: scheme, LogSink: io.Discard})
@@ -400,11 +454,13 @@ func main() {
 			namedBench{"TATP/" + s.name, tatpMix(s.scheme)},
 			namedBench{"ReadMostly/" + s.name + "/Registered", readMostly(s.scheme, false)},
 			namedBench{"ReadMostly/" + s.name + "/FastLane", readMostly(s.scheme, true)},
+			namedBench{"Range/" + s.name, rangeHeavy(s.scheme)},
 		)
 	}
 	benches = append(benches,
 		namedBench{"LargeRow/MVO", largeRow(core.MVOptimistic)},
 		namedBench{"TATPBatch/MVO", tatpBatch(core.MVOptimistic)},
+		namedBench{"Range/1V", rangeHeavy(core.SingleVersion)},
 	)
 
 	file := File{
@@ -444,6 +500,11 @@ func main() {
 		file.ReadOnlyCounterTxns = counterTxns
 		fmt.Fprintf(os.Stderr, "  %d oracle increments across %d read-only txns\n", delta, counterTxns)
 	}
+	delta1v, delta1vErr := measureCounterDelta1V(counterTxns)
+	if delta1vErr == nil {
+		file.ReadOnlyCounterDelta1V = &delta1v
+		fmt.Fprintf(os.Stderr, "  %d 1V sequence increments across %d read-only txns\n", delta1v, counterTxns)
+	}
 
 	// Write the results before acting on any failure: a long benchmark run's
 	// data must survive a -check violation so there is something to diagnose
@@ -465,8 +526,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", deltaErr)
 		os.Exit(1)
 	}
+	if delta1vErr != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", delta1vErr)
+		os.Exit(1)
+	}
 	if *check && delta != 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: FAIL: read-only fast lane performed %d shared-counter increments (want 0)\n", delta)
+		os.Exit(1)
+	}
+	if *check && delta1v != 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: 1V read-only fast lane performed %d shared-counter increments (want 0)\n", delta1v)
 		os.Exit(1)
 	}
 }

@@ -31,9 +31,12 @@ func main() {
 	}
 	defer db.Close()
 
+	// An Ordered index keeps keys sorted (a concurrent skip list) and
+	// supports ScanRange in addition to point lookups; a hash index
+	// ({Buckets: n}) supports point lookups only.
 	users, err := db.CreateTable(core.TableSpec{
 		Name:    "users",
-		Indexes: []core.IndexSpec{{Name: "id", Key: key, Buckets: 1 << 12}},
+		Indexes: []core.IndexSpec{{Name: "id", Key: key, Ordered: true}},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -61,6 +64,21 @@ func main() {
 	if err := tx.Commit(); err != nil {
 		log.Fatal(err)
 	}
+
+	// Range scan over the ordered index: ascending key order, phantom-safe
+	// under serializable isolation (see docs/indexes.md).
+	tx = db.Begin(core.WithIsolation(core.Serializable))
+	total := uint64(0)
+	if err := tx.ScanRange(users, 0, 1, 3, nil, func(r core.Row) bool {
+		total += val(r.Payload())
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("balance of users 1..3 totals %d\n", total)
 
 	// Update under the pessimistic scheme — optimistic and pessimistic
 	// transactions coexist on the same engine.

@@ -102,6 +102,11 @@ type Config struct {
 	DisableSpeculation bool
 	// DisableEagerUpdates turns off MV/L eager updates (ablation).
 	DisableEagerUpdates bool
+	// ReaderPinSlots sizes the MV engines' reader-pin table (the number of
+	// concurrent registration-free snapshot readers tracked without falling
+	// back to transaction-table registration). 0 means the default (128).
+	// Ignored by 1V, whose fast lane touches no shared state at Begin.
+	ReaderPinSlots int
 }
 
 // Database is a main-memory database instance backed by one engine.
@@ -142,6 +147,7 @@ func Open(cfg Config) (*Database, error) {
 			GCEvery:             cfg.GCEvery,
 			DisableSpeculation:  cfg.DisableSpeculation,
 			DisableEagerUpdates: cfg.DisableEagerUpdates,
+			ReaderPinSlots:      cfg.ReaderPinSlots,
 		})
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %d", cfg.Scheme)
@@ -299,6 +305,10 @@ func WithReadOnly() TxOption { return readOnlyOption }
 // perform.
 var ErrUnsupported = errors.New("core: operation unsupported by engine")
 
+// ErrUnordered is returned when ScanRange is called on an index that was
+// not declared Ordered in its IndexSpec.
+var ErrUnordered = storage.ErrUnordered
+
 // ErrReadOnlyTx is returned when a mutation is attempted through a
 // read-only transaction.
 var ErrReadOnlyTx = mv.ErrReadOnlyTx
@@ -339,15 +349,15 @@ func (db *Database) Begin(opts ...TxOption) *Tx {
 		}
 		tx.mvTx = db.mvEng.Begin(scheme, o.iso)
 	} else {
-		iso := o.iso
 		if o.readOnly {
 			// Read-only transactions promise a transactionally consistent
 			// view on every engine: the MV fast lane reads a snapshot, and
-			// 1V must match it with read stability (snapshot isolation,
-			// which the single-version engine upgrades to repeatable read).
-			iso = SnapshotIsolation
+			// the 1V fast lane matches it with read stability (repeatable
+			// read) while skipping both shared-sequence draws.
+			tx.svTx = db.svEng.BeginReadOnly()
+			return tx
 		}
-		tx.svTx = db.svEng.Begin(iso)
+		tx.svTx = db.svEng.Begin(o.iso)
 	}
 	return tx
 }
@@ -392,6 +402,46 @@ func (tx *Tx) Scan(t *Table, index int, key uint64, pred Pred, fn func(Row) bool
 	return tx.svTx.Scan(t.svT, index, key, sv.Pred(pred), func(r *sv.Record) bool {
 		return fn(Row{payload: r.Payload(), svR: r})
 	})
+}
+
+// ScanRange iterates visible rows whose keys in the named index fall in
+// [lo, hi] (both inclusive), in ascending key order, calling fn for each; fn
+// returning false stops the scan. The index must have been declared Ordered
+// in its IndexSpec or ErrUnordered is returned. The payload passed to fn is
+// only valid during the callback.
+//
+// Range scans carry full isolation semantics on every engine: under
+// serializable isolation a concurrent insert into the scanned range is
+// either aborted against (MV/O revalidates the range at commit), delayed
+// (MV/L range locks force inserters to wait), or blocked outright (1V holds
+// a shared range lock to commit) — see docs/indexes.md.
+func (tx *Tx) ScanRange(t *Table, index int, lo, hi uint64, pred Pred, fn func(Row) bool) error {
+	if tx.mvTx != nil {
+		return tx.mvTx.ScanRange(t.mvT, index, lo, hi, mv.Pred(pred), func(v *storage.Version) bool {
+			return fn(Row{payload: v.Payload, mvV: v})
+		})
+	}
+	if tx.svTx == nil {
+		return ErrTxDone
+	}
+	return tx.svTx.ScanRange(t.svT, index, lo, hi, sv.Pred(pred), func(r *sv.Record) bool {
+		return fn(Row{payload: r.Payload(), svR: r})
+	})
+}
+
+// LookupRange returns a copy of every visible row in [lo, hi] of the named
+// ordered index, in ascending key order. Convenience wrapper over ScanRange
+// for small result sets.
+func (tx *Tx) LookupRange(t *Table, index int, lo, hi uint64, pred Pred) ([][]byte, error) {
+	var out [][]byte
+	err := tx.ScanRange(t, index, lo, hi, pred, func(r Row) bool {
+		out = append(out, append([]byte(nil), r.payload...))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Lookup returns the first visible row matching key and pred. The returned

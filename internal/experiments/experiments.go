@@ -103,6 +103,18 @@ func (c Config) loadUniform(scheme core.Scheme, n uint64) (*core.Database, *core
 	return db, tbl
 }
 
+// loadOrdered creates and populates the homogeneous workload table with an
+// ordered (range-scannable) primary index.
+func (c Config) loadOrdered(scheme core.Scheme, n uint64) (*core.Database, *core.Table) {
+	db := c.openDB(scheme)
+	tbl, err := workload.OrderedTable(db, n)
+	if err != nil {
+		panic(err)
+	}
+	workload.Load(db, tbl, n)
+	return db, tbl
+}
+
 // updateMix is the Section 5.1 transaction: R=10 reads, W=2 writes.
 func updateMix(tbl *core.Table, n uint64, level core.Isolation) bench.TxType {
 	h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: n}, R: 10, W: 2}
@@ -282,6 +294,52 @@ func (c Config) ReadMostly() *Report {
 	return rep
 }
 
+// RangeScan is a range-heavy scenario over an ordered primary index: 80% of
+// transactions run 4 range scans of 100 consecutive keys, 20% run the
+// R=10/W=2 update mix, per scheme and multiprogramming level. It has no
+// counterpart figure in the paper (the prototype had only hash indexes); it
+// measures what the ordered access method costs each scheme — MV cursors
+// pay visibility checks per version, 1V pays range-lock admission — and is
+// the regression anchor for the range-scan path (BENCH_prN.json "Range").
+func (c Config) RangeScan() *Report {
+	const span = 100
+	rep := &Report{
+		ID: "Range",
+		Title: fmt.Sprintf("Range-heavy workload (ordered index, 80%% 4×%d-row scans, 20%% R=10/W=2 updates, N=%d, Read Committed)",
+			span, c.NLarge),
+		Columns: append([]string{"MPL"}, schemeLabels()...),
+	}
+	series := make([]Series, len(Schemes))
+	for i, s := range Schemes {
+		series[i].Label = s.String()
+	}
+	for _, mpl := range c.MPLs {
+		row := []string{fmt.Sprint(mpl)}
+		for i, scheme := range Schemes {
+			db, tbl := c.loadOrdered(scheme, c.NLarge)
+			rm := workload.RangeMix{
+				Table: tbl, Dist: workload.Uniform{N: c.NLarge}, N: c.NLarge,
+				Scans: 4, Span: span, W: 0,
+			}
+			up := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: c.NLarge}, R: 10, W: 2}
+			types := []bench.TxType{
+				{Name: "range", Weight: 80, Isolation: core.ReadCommitted, Fn: rm.Run},
+				{Name: "update", Weight: 20, Isolation: core.ReadCommitted, Fn: up.Run},
+			}
+			res := bench.Run(db, types,
+				bench.Options{Workers: mpl, Duration: c.Duration, Warmup: c.Warmup, Seed: c.Seed})
+			db.Close()
+			tps := res.TPS()
+			series[i].X = append(series[i].X, float64(mpl))
+			series[i].Y = append(series[i].Y, tps)
+			row = append(row, f0(tps))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Series = series
+	return rep
+}
+
 // longReaderResults runs the Section 5.2.2 experiment once per x value and
 // scheme, returning update tx/s and reader rows/s.
 func (c Config) longReaderResults() (update, reads []Series) {
@@ -394,18 +452,20 @@ func (c Config) All() []*Report {
 	var out []*Report
 	out = append(out, c.Fig4(), c.Fig5(), c.Table3(), c.Fig6(), c.Fig7())
 	f8, f9 := c.Fig8And9()
-	out = append(out, f8, f9, c.Table4(), c.ReadMostly())
+	out = append(out, f8, f9, c.Table4(), c.ReadMostly(), c.RangeScan())
 	return out
 }
 
 // ByID runs the experiment with the given identifier (fig4, fig5, table3,
-// fig6, fig7, fig8, fig9, table4, readmostly, all).
+// fig6, fig7, fig8, fig9, table4, readmostly, range, all).
 func (c Config) ByID(id string) ([]*Report, error) {
 	switch id {
 	case "fig4":
 		return []*Report{c.Fig4()}, nil
 	case "readmostly":
 		return []*Report{c.ReadMostly()}, nil
+	case "range":
+		return []*Report{c.RangeScan()}, nil
 	case "fig5":
 		return []*Report{c.Fig5()}, nil
 	case "table3":

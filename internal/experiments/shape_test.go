@@ -244,3 +244,19 @@ func TestByID(t *testing.T) {
 		t.Fatalf("rows=%d", len(reps[0].Rows))
 	}
 }
+
+// Range: the range-heavy workload over the ordered index commits at every
+// multiprogramming level on every scheme — the ordered access path neither
+// livelocks nor collapses under concurrency.
+func TestRangeShape(t *testing.T) {
+	cfg := testCfg(t)
+	rep := cfg.RangeScan()
+	for _, label := range []string{"1V", "MV/L", "MV/O"} {
+		s := series(t, rep, label)
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("%s has zero range-scan throughput at MPL %v", label, s.X[i])
+			}
+		}
+	}
+}

@@ -32,7 +32,7 @@ func newTable(t *testing.T) *storage.Table {
 
 func chainLen(tbl *storage.Table, key uint64) int {
 	n := 0
-	for v := tbl.Index(0).Bucket(key).Head(); v != nil; v = v.Next(0) {
+	for v := tbl.Index(0).Lookup(key).Head(); v != nil; v = v.Next(0) {
 		n++
 	}
 	return n

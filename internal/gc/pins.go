@@ -2,10 +2,12 @@ package gc
 
 import "sync/atomic"
 
-// pinSlots is the number of concurrent anonymous readers the pin table can
-// track. Overflow is handled by the caller (fall back to transaction-table
-// registration), so the constant only bounds the fast path, not correctness.
-const pinSlots = 128
+// DefaultPinSlots is the reader-pin table size used when the engine is not
+// configured otherwise. Overflow is handled by the caller (fall back to
+// transaction-table registration), so the size only bounds the fast path,
+// not correctness; production-scale reader counts can raise it via
+// core.Config.ReaderPinSlots.
+const DefaultPinSlots = 128
 
 // pinSlot is one published read timestamp, padded to a cache line so
 // neighbouring pins don't false-share under concurrent Acquire/Release.
@@ -37,11 +39,27 @@ type pinSlot struct {
 // requires rt < end) could never see. The same argument covers pointers the
 // reader already holds: recycling a version or transaction object stamped at
 // S requires wm > S, and S is always drawn after the pin value, so S >= p.
+//
+// Init sizes the slot table; an uninitialized ReaderPins has no slots, so
+// every Acquire overflows into the registered fallback (safe, just slow).
 type ReaderPins struct {
-	slots [pinSlots]pinSlot
+	slots []pinSlot
 	next  atomic.Uint32
 	full  atomic.Uint64
 }
+
+// Init sizes the pin table to n slots (DefaultPinSlots when n <= 0). It must
+// be called before the table is shared; it is not safe to resize a table
+// that readers are already using.
+func (p *ReaderPins) Init(n int) {
+	if n <= 0 {
+		n = DefaultPinSlots
+	}
+	p.slots = make([]pinSlot, n)
+}
+
+// Slots returns the configured slot count.
+func (p *ReaderPins) Slots() int { return len(p.slots) }
 
 // Acquire claims a free slot, publishes rt in it, and returns the slot
 // index, or -1 when every slot is occupied (the caller must then fall back
@@ -49,14 +67,19 @@ type ReaderPins struct {
 // (pristine oracle) is promoted to 1 so the slot never looks free; nothing
 // is visible at read time 0, so the stricter pin is harmless.
 func (p *ReaderPins) Acquire(rt uint64) int {
+	n := uint32(len(p.slots))
+	if n == 0 {
+		p.full.Add(1)
+		return -1
+	}
 	if rt == 0 {
 		rt = 1
 	}
 	start := p.next.Add(1)
-	for i := uint32(0); i < pinSlots; i++ {
-		s := &p.slots[(start+i)%pinSlots].v
+	for i := uint32(0); i < n; i++ {
+		s := &p.slots[(start+i)%n].v
 		if s.Load() == 0 && s.CompareAndSwap(0, rt) {
-			return int((start + i) % pinSlots)
+			return int((start + i) % n)
 		}
 	}
 	p.full.Add(1)

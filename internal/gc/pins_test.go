@@ -7,6 +7,7 @@ import (
 
 func TestPinsAcquireReleaseMin(t *testing.T) {
 	var p ReaderPins
+	p.Init(0)
 	if m := p.Min(100); m != 100 {
 		t.Fatalf("empty Min = %d, want bound 100", m)
 	}
@@ -33,6 +34,7 @@ func TestPinsAcquireReleaseMin(t *testing.T) {
 
 func TestPinsZeroPromoted(t *testing.T) {
 	var p ReaderPins
+	p.Init(0)
 	s := p.Acquire(0)
 	if s < 0 {
 		t.Fatal("Acquire(0) failed")
@@ -46,8 +48,9 @@ func TestPinsZeroPromoted(t *testing.T) {
 
 func TestPinsOverflow(t *testing.T) {
 	var p ReaderPins
-	slots := make([]int, 0, pinSlots)
-	for i := 0; i < pinSlots; i++ {
+	p.Init(0)
+	slots := make([]int, 0, DefaultPinSlots)
+	for i := 0; i < DefaultPinSlots; i++ {
 		s := p.Acquire(uint64(i + 1))
 		if s < 0 {
 			t.Fatalf("Acquire %d failed before the table was full", i)
@@ -68,6 +71,7 @@ func TestPinsOverflow(t *testing.T) {
 
 func TestPinsConcurrent(t *testing.T) {
 	var p ReaderPins
+	p.Init(0)
 	const workers = 16
 	const iters = 2000
 	var wg sync.WaitGroup

@@ -27,10 +27,11 @@ func (tx *Tx) Commit() error {
 		return tx.commitFast()
 	}
 
-	// End of normal processing (Section 4.3.1): release read locks and
-	// bucket locks. Purely optimistic transactions hold none.
+	// End of normal processing (Section 4.3.1): release read locks, bucket
+	// locks and range locks. Purely optimistic transactions hold none.
 	tx.releaseAllReadLocks()
 	tx.releaseBucketLocks()
+	tx.releaseRangeLocks()
 
 	if tx.T.AbortRequested() {
 		tx.e.cascadingAborts.Add(1)
@@ -150,7 +151,7 @@ func (tx *Tx) Commit() error {
 // and batch Begin paths. Optimistic repeatable-read/serializable readers do
 // not: validation compares against an end timestamp (Section 3.2).
 func (tx *Tx) fastCommittable() bool {
-	if len(tx.writeSet) > 0 || tx.tookLocks || len(tx.bucketLocks) > 0 {
+	if len(tx.writeSet) > 0 || tx.tookLocks || len(tx.bucketLocks) > 0 || len(tx.rangeLocks) > 0 {
 		return false
 	}
 	if tx.scheme == Optimistic && (tx.iso == RepeatableRead || tx.iso == Serializable) {
@@ -218,6 +219,7 @@ func (tx *Tx) abortInternal() {
 
 	tx.releaseAllReadLocks()
 	tx.releaseBucketLocks()
+	tx.releaseRangeLocks()
 	tx.T.ReleaseWaiters(tx.e.txns)
 
 	infWord := field.FromTS(field.Infinity)
@@ -296,34 +298,65 @@ func (tx *Tx) validate(end uint64) error {
 	// Phantom detection: repeat every scan looking for versions that came
 	// into existence during the transaction's lifetime and are visible as of
 	// its end (Figure 3's V4 case).
-	for _, sc := range tx.scanSet {
-		b := sc.ix.Bucket(sc.key)
-		ord := sc.ix.Ord()
-		for v := b.Head(); v != nil; v = v.Next(ord) {
-			if v.Key(ord) != sc.key {
-				continue
+	for i := range tx.scanSet {
+		if err := tx.rescan(&tx.scanSet[i], end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rescan repeats one recorded scan at the end timestamp. Point scans walk
+// the key's bucket (re-looked-up, so a key — or, on an ordered index, a
+// whole skip-list node — created after the original scan is still found);
+// range scans re-run the cursor over [lo, hi].
+func (tx *Tx) rescan(sc *scanRecord, end uint64) error {
+	ord := sc.ix.Ord()
+	check := func(v *storage.Version) error {
+		if sc.pred != nil && !sc.pred(v.Payload) {
+			return nil
+		}
+		bw := v.Begin()
+		if !field.IsTS(bw) && field.TxID(bw) == tx.T.ID() {
+			return nil // our own creation is not a phantom
+		}
+		visEnd, err := tx.isVisible(v, end)
+		if err != nil {
+			return err
+		}
+		if !visEnd {
+			return nil
+		}
+		visStart, err := tx.isVisible(v, tx.T.Begin())
+		if err != nil {
+			return err
+		}
+		if !visStart {
+			return ErrValidation // phantom
+		}
+		return nil
+	}
+	if sc.ix.Ordered() {
+		cur := sc.ix.ScanRange(sc.lo, sc.hi)
+		for {
+			b, _, ok := cur.Next()
+			if !ok {
+				return nil
 			}
-			if sc.pred != nil && !sc.pred(v.Payload) {
-				continue
+			for v := b.Head(); v != nil; v = v.Next(ord) {
+				if err := check(v); err != nil {
+					return err
+				}
 			}
-			bw := v.Begin()
-			if !field.IsTS(bw) && field.TxID(bw) == tx.T.ID() {
-				continue // our own creation is not a phantom
-			}
-			visEnd, err := tx.isVisible(v, end)
-			if err != nil {
-				return err
-			}
-			if !visEnd {
-				continue
-			}
-			visStart, err := tx.isVisible(v, tx.T.Begin())
-			if err != nil {
-				return err
-			}
-			if !visStart {
-				return ErrValidation // phantom
-			}
+		}
+	}
+	b := sc.ix.Lookup(sc.lo)
+	for v := b.Head(); v != nil; v = v.Next(ord) {
+		if v.Key(ord) != sc.lo {
+			continue
+		}
+		if err := check(v); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -18,7 +18,7 @@ func distinctBuckets(tbl *storage.Table, from uint64) (uint64, uint64) {
 	ix := tbl.Index(0)
 	a := from
 	for b := a + 1; ; b++ {
-		if ix.Bucket(a) != ix.Bucket(b) {
+		if ix.Lookup(a) != ix.Lookup(b) {
 			return a, b
 		}
 	}

@@ -76,6 +76,11 @@ type Config struct {
 	// of Section 4.2): updating a read-locked version or inserting into a
 	// locked bucket aborts instead of installing a wait-for dependency.
 	DisableEagerUpdates bool
+	// ReaderPinSlots sizes the reader-pin table covering registration-free
+	// snapshot readers (default gc.DefaultPinSlots = 128). Raise it for
+	// workloads with more concurrent anonymous readers than that; overflow
+	// falls back to registered transactions, costing one oracle draw each.
+	ReaderPinSlots int
 }
 
 // Stats aggregates engine-wide counters.
@@ -189,6 +194,7 @@ func NewEngine(cfg Config) *Engine {
 		blt:    storage.NewBucketLockTable(),
 		tables: make(map[string]*storage.Table),
 	}
+	e.pins.Init(cfg.ReaderPinSlots)
 	e.gc = gc.NewCollector(func() uint64 {
 		// Load the clock FIRST, then sweep the table minima and the reader
 		// pins: gc.ReaderPins relies on this order to guarantee the
@@ -358,6 +364,8 @@ func (e *Engine) finishTx(tx *Tx) {
 	tx.writeSet = tx.writeSet[:0]
 	clear(tx.bucketLocks)
 	tx.bucketLocks = tx.bucketLocks[:0]
+	clear(tx.rangeLocks)
+	tx.rangeLocks = tx.rangeLocks[:0]
 	clear(tx.walRec.Ops)
 	tx.walRec.Ops = tx.walRec.Ops[:0]
 	tx.holders = tx.holders[:0]

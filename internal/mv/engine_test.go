@@ -417,7 +417,7 @@ func TestGarbageCollectionReclaims(t *testing.T) {
 	// The chain should now contain exactly one version.
 	n := 0
 	ix := tbl.Index(0)
-	for v := ix.Bucket(1).Head(); v != nil; v = v.Next(0) {
+	for v := ix.Lookup(1).Head(); v != nil; v = v.Next(0) {
 		if payloadKey(v.Payload) == 1 {
 			n++
 		}

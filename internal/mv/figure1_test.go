@@ -80,7 +80,7 @@ func TestFigure1Scenario(t *testing.T) {
 	// ...and the new versions' Begin fields hold its ID too. Find the new
 	// John version in bucket J.
 	var johnNew *storage.Version
-	for v := tbl.Index(0).Bucket(nameKey([]byte("J"))).Head(); v != nil; v = v.Next(0) {
+	for v := tbl.Index(0).Lookup(nameKey([]byte("J"))).Head(); v != nil; v = v.Next(0) {
 		if accountName(v.Payload) == "John" && accountAmount(v.Payload) == 130 {
 			johnNew = v
 		}

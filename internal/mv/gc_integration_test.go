@@ -12,7 +12,7 @@ import (
 
 func chainLength(tbl *storage.Table, key uint64) int {
 	n := 0
-	for v := tbl.Index(0).Bucket(key).Head(); v != nil; v = v.Next(0) {
+	for v := tbl.Index(0).Lookup(key).Head(); v != nil; v = v.Next(0) {
 		if v.Key(0) == key {
 			n++
 		}

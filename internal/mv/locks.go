@@ -212,18 +212,68 @@ func (tx *Tx) releaseBucketLocks() {
 	tx.bucketLocks = tx.bucketLocks[:0]
 }
 
-// bucketInsertDeps is called when tx adds a new version to bucket b: if the
-// bucket is locked by serializable transactions, tx takes a wait-for
-// dependency on each holder — it may insert eagerly, but cannot precommit
-// before they complete (Section 4.2.2).
-func (tx *Tx) bucketInsertDeps(b *storage.Bucket) error {
+// rangeLockRef records one range lock held by the transaction for release at
+// the end of normal processing.
+type rangeLockRef struct {
+	rl     *storage.RangeLockTable
+	lo, hi uint64
+}
+
+// lockRange takes a range lock on an ordered index for a serializable
+// pessimistic scan — the predicate-shaped analogue of lockBucket. Locks
+// covered by an already-held range are skipped. The holder list publishes
+// the transaction's ID (inserters look holders up to register wait-for
+// dependencies), so a lazily-begun transaction registers first.
+func (tx *Tx) lockRange(rl *storage.RangeLockTable, lo, hi uint64) {
+	for _, held := range tx.rangeLocks {
+		if held.rl == rl && held.lo <= lo && hi <= held.hi {
+			return
+		}
+	}
+	tx.ensureRegistered()
+	rl.Acquire(lo, hi, tx.T.ID())
+	tx.rangeLocks = append(tx.rangeLocks, rangeLockRef{rl, lo, hi})
+}
+
+// releaseRangeLocks releases all range locks at the end of normal
+// processing.
+func (tx *Tx) releaseRangeLocks() {
+	for _, h := range tx.rangeLocks {
+		h.rl.Release(h.lo, h.hi, tx.T.ID())
+	}
+	clear(tx.rangeLocks)
+	tx.rangeLocks = tx.rangeLocks[:0]
+}
+
+// insertDeps is called when tx links a new version with the given key into
+// index ix: if the key is covered by serializable scan locks — bucket locks
+// on a hash index, range locks on an ordered one — tx takes a wait-for
+// dependency on each holder: it may insert eagerly, but cannot precommit
+// before the scanners complete (Section 4.2.2).
+func (tx *Tx) insertDeps(ix storage.Index, key uint64) error {
+	if rl := ix.RangeLocks(); rl != nil {
+		if rl.Active() == 0 {
+			return nil
+		}
+		if tx.e.cfg.DisableEagerUpdates {
+			return ErrWriteConflict
+		}
+		return tx.holderDeps(rl.AppendHolders(tx.holders[:0], key))
+	}
+	b := ix.Lookup(key)
 	if b.LockCount() == 0 {
 		return nil
 	}
 	if tx.e.cfg.DisableEagerUpdates {
 		return ErrWriteConflict
 	}
-	tx.holders = tx.e.blt.AppendHolders(tx.holders[:0], b)
+	return tx.holderDeps(tx.e.blt.AppendHolders(tx.holders[:0], b))
+}
+
+// holderDeps installs one wait-for dependency per scan-lock holder; holders
+// must alias tx.holders (the reusable scratch buffer).
+func (tx *Tx) holderDeps(holders []uint64) error {
+	tx.holders = holders
 	for _, hid := range tx.holders {
 		if hid == tx.T.ID() {
 			continue // our own scan lock; our inserts are visible to us

@@ -166,7 +166,7 @@ func TestBucketLockReleasedOnAbort(t *testing.T) {
 	if _, ok := readVal(t, ser, tbl, 7); ok {
 		t.Fatal("unexpected row")
 	}
-	b := tbl.Index(0).Bucket(7)
+	b := tbl.Index(0).Lookup(7)
 	if b.LockCount() != 1 {
 		t.Fatalf("LockCount = %d during scan", b.LockCount())
 	}

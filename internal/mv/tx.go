@@ -13,12 +13,13 @@ import (
 type Pred func(payload []byte) bool
 
 // scanRecord remembers enough about a scan to repeat it during validation
-// (the ScanSet of Section 3).
+// (the ScanSet of Section 3). Point scans store lo == hi == key; range scans
+// on ordered indexes store the inclusive bounds.
 type scanRecord struct {
-	table *storage.Table
-	ix    *storage.Index
-	key   uint64
-	pred  Pred
+	table  *storage.Table
+	ix     storage.Index
+	lo, hi uint64
+	pred   Pred
 }
 
 // writeRec is one WriteSet entry: pointers to the old and new versions of an
@@ -66,6 +67,7 @@ type Tx struct {
 	scanSet     []scanRecord
 	writeSet    []writeRec
 	bucketLocks []*storage.Bucket
+	rangeLocks  []rangeLockRef
 
 	// walRec is the reusable redo record; wal.Append encodes it before
 	// returning, so the record and its Ops never escape the commit call.
@@ -158,18 +160,26 @@ func (tx *Tx) scan(t *storage.Table, indexOrd int, key uint64, pred Pred, forUpd
 	}
 	ix := t.Index(indexOrd)
 	ser := tx.iso == Serializable
-	b := ix.Bucket(key)
 	if ser {
 		if tx.scheme == Optimistic {
 			// Register the scan so it can be repeated during validation
 			// (start-scan step of Section 3.1).
-			tx.scanSet = append(tx.scanSet, scanRecord{t, ix, key, pred})
+			tx.scanSet = append(tx.scanSet, scanRecord{t, ix, key, key, pred})
+		} else if rl := ix.RangeLocks(); rl != nil {
+			// An ordered index cannot bucket-lock a key that was never
+			// inserted (there is no bucket); point scans lock the
+			// degenerate range [key, key] for phantom protection instead.
+			tx.lockRange(rl, key, key)
 		} else {
 			// Bucket lock for phantom protection (Section 4.1.2).
-			tx.lockBucket(b)
+			tx.lockBucket(ix.Lookup(key))
 		}
 	}
 	rt := tx.readTime()
+	b := ix.Lookup(key)
+	if b == nil {
+		return nil // ordered index, key never inserted
+	}
 	for v := b.Head(); v != nil; v = v.Next(indexOrd) {
 		if v.Key(indexOrd) != key {
 			continue
@@ -177,34 +187,7 @@ func (tx *Tx) scan(t *storage.Table, indexOrd int, key uint64, pred Pred, forUpd
 		if pred != nil && !pred(v.Payload) {
 			continue
 		}
-		vis, err := tx.isVisible(v, rt)
-		if err != nil {
-			return err
-		}
-		if !vis {
-			if ser && tx.scheme == Pessimistic {
-				// A version satisfying the predicate but not visible may be
-				// an uncommitted insert: a potential phantom (Section
-				// 4.2.2).
-				if err := tx.phantomGuard(v, rt); err != nil {
-					return err
-				}
-			}
-			continue
-		}
-		if !forUpdate && (tx.iso == RepeatableRead || ser) {
-			if tx.scheme == Optimistic {
-				tx.readSet = append(tx.readSet, v)
-			} else if isLatest(v) {
-				// Read locks are only needed on latest versions; older
-				// versions have immutable valid intervals (Section 4.1.1).
-				if err := tx.acquireReadLock(v); err != nil {
-					tx.e.lockFailures.Add(1)
-					return err
-				}
-			}
-		}
-		cont, err := fn(v)
+		cont, err := tx.visit(v, rt, ser, forUpdate, fn)
 		if err != nil {
 			return err
 		}
@@ -213,6 +196,96 @@ func (tx *Tx) scan(t *storage.Table, indexOrd int, key uint64, pred Pred, forUpd
 		}
 	}
 	return nil
+}
+
+// ScanRange iterates the versions with index keys in [lo, hi] (inclusive)
+// visible to tx, in ascending key order, applying the same isolation
+// bookkeeping as Scan: optimistic serializable range scans are recorded and
+// repeated at validation (phantom rescan); pessimistic serializable scans
+// take a range lock that forces inserters into the range to wait; repeatable
+// read stabilizes every row read. The index must be Ordered or
+// storage.ErrUnordered is returned. fn returning false stops the scan; a
+// non-nil error means the transaction must be aborted.
+func (tx *Tx) ScanRange(t *storage.Table, indexOrd int, lo, hi uint64, pred Pred, fn func(v *storage.Version) bool) error {
+	return tx.scanRange(t, indexOrd, lo, hi, pred, false, func(v *storage.Version) (bool, error) {
+		return fn(v), nil
+	})
+}
+
+func (tx *Tx) scanRange(t *storage.Table, indexOrd int, lo, hi uint64, pred Pred, forUpdate bool, fn func(*storage.Version) (bool, error)) error {
+	if err := tx.checkUsable(); err != nil {
+		return err
+	}
+	ix := t.Index(indexOrd)
+	if !ix.Ordered() {
+		return storage.ErrUnordered
+	}
+	if lo > hi {
+		return nil
+	}
+	ser := tx.iso == Serializable
+	if ser {
+		if tx.scheme == Optimistic {
+			tx.scanSet = append(tx.scanSet, scanRecord{t, ix, lo, hi, pred})
+		} else {
+			tx.lockRange(ix.RangeLocks(), lo, hi)
+		}
+	}
+	rt := tx.readTime()
+	cur := ix.ScanRange(lo, hi)
+	for {
+		b, _, ok := cur.Next()
+		if !ok {
+			return nil
+		}
+		for v := b.Head(); v != nil; v = v.Next(indexOrd) {
+			if pred != nil && !pred(v.Payload) {
+				continue
+			}
+			cont, err := tx.visit(v, rt, ser, forUpdate, fn)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+	}
+}
+
+// visit applies the visibility test and per-row isolation bookkeeping to one
+// candidate version (shared by point and range scans): invisible versions
+// feed the pessimistic phantom guard; visible ones are read-set tracked
+// (optimistic) or read-locked (pessimistic) at repeatable read and above,
+// then handed to fn. The returned bool is whether the scan should continue.
+func (tx *Tx) visit(v *storage.Version, rt uint64, ser, forUpdate bool, fn func(*storage.Version) (bool, error)) (bool, error) {
+	vis, err := tx.isVisible(v, rt)
+	if err != nil {
+		return false, err
+	}
+	if !vis {
+		if ser && tx.scheme == Pessimistic {
+			// A version satisfying the predicate but not visible may be an
+			// uncommitted insert: a potential phantom (Section 4.2.2).
+			if err := tx.phantomGuard(v, rt); err != nil {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	if !forUpdate && (tx.iso == RepeatableRead || ser) {
+		if tx.scheme == Optimistic {
+			tx.readSet = append(tx.readSet, v)
+		} else if isLatest(v) {
+			// Read locks are only needed on latest versions; older
+			// versions have immutable valid intervals (Section 4.1.1).
+			if err := tx.acquireReadLock(v); err != nil {
+				tx.e.lockFailures.Add(1)
+				return false, err
+			}
+		}
+	}
+	return fn(v)
 }
 
 // phantomGuard handles an invisible, predicate-matching version during a
@@ -300,13 +373,13 @@ func (tx *Tx) Insert(t *storage.Table, payload []byte) error {
 	}
 	tx.ensureRegistered()
 	v := tx.e.vpool.GetIn(t.Arena(), payload, t.NumIndexes(), field.FromTxID(tx.T.ID()), infinityWord)
-	// Inserting into a locked bucket is allowed, but then tx cannot
-	// precommit until the lock holders have completed (Section 4.2.2). This
-	// applies to optimistic transactions too: honoring bucket locks is what
-	// lets the two schemes coexist (Section 4.5).
+	// Inserting under a serializable scan lock (bucket or range) is allowed,
+	// but then tx cannot precommit until the lock holders have completed
+	// (Section 4.2.2). This applies to optimistic transactions too: honoring
+	// scan locks is what lets the two schemes coexist (Section 4.5).
 	for ord := 0; ord < t.NumIndexes(); ord++ {
 		ix := t.Index(ord)
-		if err := tx.bucketInsertDeps(ix.Bucket(ix.Key(payload))); err != nil {
+		if err := tx.insertDeps(ix, ix.Key(payload)); err != nil {
 			return err
 		}
 	}
@@ -340,7 +413,7 @@ func (tx *Tx) Update(t *storage.Table, old *storage.Version, newPayload []byte) 
 	nv := tx.e.vpool.GetIn(t.Arena(), newPayload, t.NumIndexes(), field.FromTxID(tx.T.ID()), infinityWord)
 	for ord := 0; ord < t.NumIndexes(); ord++ {
 		ix := t.Index(ord)
-		if err := tx.bucketInsertDeps(ix.Bucket(ix.Key(newPayload))); err != nil {
+		if err := tx.insertDeps(ix, ix.Key(newPayload)); err != nil {
 			return err
 		}
 	}

@@ -1,8 +1,10 @@
 package storage
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 const (
@@ -23,23 +25,49 @@ const (
 // PayloadArena is a per-table slab allocator for row payloads larger than
 // InlinePayload. Blocks are size-class segregated, carved from large chunks,
 // and recycled together with their version: VersionPool.Put returns a
-// version's arena block to the class free list, so steady-state update
+// version's arena block to its chunk's free list, so steady-state update
 // traffic on large rows allocates no payload storage.
+//
+// Blocks are accounted to the chunk they were carved from. When every block
+// of a fully-carved chunk has been returned, the chunk is released back to
+// the allocator (one spare is kept per class to absorb oscillation), so a
+// table whose large-row population shrinks does not pin its peak memory
+// forever. The hot paths stay cheap regardless of chunk count: Get pops
+// from a stack of chunks known to hold free blocks (O(1)), and Put finds
+// the owning chunk by binary search over the address-sorted chunk list.
 //
 // Safety follows the version recycle contract: a block is only returned
 // once its version is quiesced (unlinked from every index and past the GC
 // watermark), so no transaction that could still read the payload remains.
 type PayloadArena struct {
-	classes [arenaClasses]arenaClass
-	reuses  atomic.Uint64
+	classes  [arenaClasses]arenaClass
+	reuses   atomic.Uint64
+	released atomic.Uint64
+}
+
+// arenaChunkDesc tracks one chunk and the recycled blocks carved from it.
+type arenaChunkDesc struct {
+	buf        []byte
+	start, end uintptr
+	free       [][]byte // recycled blocks belonging to this chunk
+	carved     int      // blocks handed out of this chunk so far
+	capacity   int      // total blocks the chunk can yield
+	off        int      // carve offset into buf
+	// dead marks a released chunk; a stale avail entry skips it.
+	dead bool
+	// inAvail records that the chunk is on the class's avail stack, so a
+	// chunk is pushed at most once per free-list refill.
+	inAvail bool
 }
 
 type arenaClass struct {
 	mu sync.Mutex
-	// free holds recycled blocks, each with cap == the class size.
-	free [][]byte
-	// chunk is the current carve source; refilled when exhausted.
-	chunk []byte
+	// chunks is sorted by start address for O(log n) owner lookup in Put.
+	chunks []*arenaChunkDesc
+	// avail is a stack of chunks that (modulo staleness) hold free blocks.
+	avail []*arenaChunkDesc
+	// carve is the single partially-carved chunk, if any.
+	carve *arenaChunkDesc
 }
 
 // classFor returns the class index for a payload of n bytes, or -1 when the
@@ -68,30 +96,59 @@ func (a *PayloadArena) Get(n int) []byte {
 	size := arenaMinClass << ci
 	c := &a.classes[ci]
 	c.mu.Lock()
-	if last := len(c.free) - 1; last >= 0 {
-		b := c.free[last]
-		c.free[last] = nil
-		c.free = c.free[:last]
+	// Serve from a recycled block first: pop the top available chunk.
+	for last := len(c.avail) - 1; last >= 0; last = len(c.avail) - 1 {
+		d := c.avail[last]
+		if d.dead || len(d.free) == 0 {
+			c.avail[last] = nil
+			c.avail = c.avail[:last]
+			d.inAvail = false
+			continue
+		}
+		fl := len(d.free) - 1
+		b := d.free[fl]
+		d.free[fl] = nil
+		d.free = d.free[:fl]
+		if fl == 0 {
+			c.avail[last] = nil
+			c.avail = c.avail[:last]
+			d.inAvail = false
+		}
 		c.mu.Unlock()
 		a.reuses.Add(1)
 		return b[:n]
 	}
-	if len(c.chunk) < size {
-		n := arenaChunk
-		if n < size {
-			n = size
+	// Carve from the current chunk, growing when exhausted.
+	d := c.carve
+	if d == nil || len(d.buf)-d.off < size {
+		cn := arenaChunk
+		if cn < size {
+			cn = size
 		}
-		c.chunk = make([]byte, n)
+		buf := make([]byte, cn)
+		start := uintptr(unsafe.Pointer(unsafe.SliceData(buf)))
+		d = &arenaChunkDesc{
+			buf:      buf,
+			start:    start,
+			end:      start + uintptr(len(buf)),
+			capacity: cn / size,
+		}
+		i := sort.Search(len(c.chunks), func(i int) bool { return c.chunks[i].start > start })
+		c.chunks = append(c.chunks, nil)
+		copy(c.chunks[i+1:], c.chunks[i:])
+		c.chunks[i] = d
+		c.carve = d
 	}
-	b := c.chunk[:size:size]
-	c.chunk = c.chunk[size:]
+	b := d.buf[d.off : d.off+size : d.off+size]
+	d.off += size
+	d.carved++
 	c.mu.Unlock()
 	return b[:n]
 }
 
 // Put recycles a block previously returned by Get. Blocks with a capacity
-// that is not an exact class size are ignored (defensive: they cannot have
-// come from the arena).
+// that is not an exact class size, or that belong to no live chunk
+// (defensive: they cannot have come from the arena), are ignored.
 func (a *PayloadArena) Put(b []byte) {
 	size := cap(b)
 	if size < arenaMinClass || size > arenaMaxClass || size&(size-1) != 0 {
@@ -101,11 +158,63 @@ func (a *PayloadArena) Put(b []byte) {
 	for s := arenaMinClass; s < size; s <<= 1 {
 		ci++
 	}
+	p := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
 	c := &a.classes[ci]
 	c.mu.Lock()
-	c.free = append(c.free, b[:0:size])
+	// Binary search for the owning chunk (first chunk with start > p, minus
+	// one).
+	i := sort.Search(len(c.chunks), func(i int) bool { return c.chunks[i].start > p }) - 1
+	if i < 0 {
+		c.mu.Unlock()
+		return
+	}
+	d := c.chunks[i]
+	if p >= d.end {
+		c.mu.Unlock()
+		return
+	}
+	d.free = append(d.free, b[:0:size])
+	// A fully-carved chunk whose every block has come home is idle; release
+	// it to the allocator unless it is the class's only one (keep one spare
+	// so a drain/refill cycle doesn't thrash make()). A stale avail entry
+	// may remain; Get skips it via the dead flag.
+	if d.carved == d.capacity && len(d.free) == d.capacity && len(c.chunks) > 1 {
+		copy(c.chunks[i:], c.chunks[i+1:])
+		c.chunks[len(c.chunks)-1] = nil
+		c.chunks = c.chunks[:len(c.chunks)-1]
+		d.dead = true
+		// Drop the buffer references now: a stale entry for d may linger on
+		// the avail stack until the next Get on this class, and the 64 KB
+		// must be collectable before then.
+		d.buf = nil
+		d.free = nil
+		if c.carve == d {
+			c.carve = nil
+		}
+		a.released.Add(1)
+	} else if !d.inAvail {
+		d.inAvail = true
+		c.avail = append(c.avail, d)
+	}
 	c.mu.Unlock()
 }
 
 // Reuses reports how many Gets were served from recycled blocks.
 func (a *PayloadArena) Reuses() uint64 { return a.reuses.Load() }
+
+// ReleasedChunks reports how many fully-empty chunks were handed back to the
+// allocator.
+func (a *PayloadArena) ReleasedChunks() uint64 { return a.released.Load() }
+
+// LiveChunks reports the number of chunks currently held across all classes
+// (diagnostics and tests).
+func (a *PayloadArena) LiveChunks() int {
+	n := 0
+	for i := range a.classes {
+		c := &a.classes[i]
+		c.mu.Lock()
+		n += len(c.chunks)
+		c.mu.Unlock()
+	}
+	return n
+}

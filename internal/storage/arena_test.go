@@ -93,3 +93,47 @@ func TestVersionInlineStillInline(t *testing.T) {
 	}
 	p.Put(v)
 }
+
+// TestArenaChunkRelease verifies that fully-empty, fully-carved chunks are
+// handed back to the allocator (minus one spare per class).
+func TestArenaChunkRelease(t *testing.T) {
+	var a PayloadArena
+	const size = 1024             // class 4
+	perChunk := arenaChunk / size // blocks per chunk
+	nBlocks := perChunk * 3       // three full chunks
+	blocks := make([][]byte, 0, nBlocks)
+	for i := 0; i < nBlocks; i++ {
+		blocks = append(blocks, a.Get(size))
+	}
+	if got := a.LiveChunks(); got != 3 {
+		t.Fatalf("LiveChunks after carve = %d, want 3", got)
+	}
+	for _, b := range blocks {
+		a.Put(b)
+	}
+	if got := a.ReleasedChunks(); got != 2 {
+		t.Fatalf("ReleasedChunks = %d, want 2 (one spare retained)", got)
+	}
+	if got := a.LiveChunks(); got != 1 {
+		t.Fatalf("LiveChunks after drain = %d, want 1", got)
+	}
+	// The spare still serves without a fresh allocation.
+	b := a.Get(size)
+	if b == nil {
+		t.Fatal("spare chunk did not serve")
+	}
+	a.Put(b)
+}
+
+// TestArenaForeignPut verifies that blocks not carved from any live chunk
+// are ignored rather than adopted.
+func TestArenaForeignPut(t *testing.T) {
+	var a PayloadArena
+	foreign := make([]byte, 0, 128)
+	a.Put(foreign)
+	if n := a.Get(100); n == nil {
+		t.Fatal("Get failed")
+	} else if a.Reuses() != 0 {
+		t.Fatal("foreign block was adopted into the free list")
+	}
+}

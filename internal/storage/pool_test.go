@@ -55,7 +55,7 @@ func TestVersionPoolReuse(t *testing.T) {
 
 func TestAppendHolders(t *testing.T) {
 	blt := NewBucketLockTable()
-	ix := &Index{buckets: make([]Bucket, 1)}
+	ix := &HashIndex{buckets: make([]Bucket, 1)}
 	b := ix.BucketAt(0)
 	blt.Acquire(b, 1)
 	blt.Acquire(b, 2)

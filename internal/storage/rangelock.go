@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RangeLockTable is the ordered-index analogue of the bucket-lock table of
+// Section 4.1.2: serializable pessimistic transactions lock the key range
+// [lo, hi] they scan, and transactions inserting a new version whose key
+// falls inside a locked range take a wait-for dependency on every holder —
+// they may insert eagerly, but cannot precommit until the scanners have
+// completed. A hash index can cover any key (absent keys still hash to some
+// bucket); an ordered index cannot, so phantom protection for ranges — and
+// for point scans of absent keys — must be predicate-shaped, keyed by the
+// range itself rather than by a physical bucket.
+//
+// Locks never conflict with each other (any number of transactions can hold
+// overlapping ranges); like bucket locks, they only force inserters into
+// wait-for dependencies. The table is engine-agnostic: it publishes holder
+// transaction IDs and leaves the dependency protocol to the caller.
+type RangeLockTable struct {
+	mu sync.Mutex
+	// active mirrors len(locks) so inserters can skip the lock-table mutex
+	// entirely when no range lock is held (the common case), exactly like
+	// the per-bucket LockCount fast path.
+	active atomic.Int32
+	locks  []rangeLock
+}
+
+type rangeLock struct {
+	lo, hi uint64
+	txid   uint64
+}
+
+// Acquire records that txid holds a lock on [lo, hi]. Ranges are inclusive
+// on both ends.
+func (t *RangeLockTable) Acquire(lo, hi uint64, txid uint64) {
+	t.mu.Lock()
+	t.locks = append(t.locks, rangeLock{lo, hi, txid})
+	t.mu.Unlock()
+	t.active.Add(1)
+}
+
+// Release removes one [lo, hi] lock held by txid. Releasing a lock that is
+// not held is a no-op.
+func (t *RangeLockTable) Release(lo, hi uint64, txid uint64) {
+	t.mu.Lock()
+	for i := range t.locks {
+		l := t.locks[i]
+		if l.txid == txid && l.lo == lo && l.hi == hi {
+			last := len(t.locks) - 1
+			t.locks[i] = t.locks[last]
+			t.locks = t.locks[:last]
+			t.mu.Unlock()
+			t.active.Add(-1)
+			return
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Active returns the number of range locks currently held; inserters use it
+// as a cheap "is anything locked at all?" check before taking the mutex.
+func (t *RangeLockTable) Active() int { return int(t.active.Load()) }
+
+// AppendHolders appends the IDs of transactions holding a range containing
+// key to dst and returns the extended slice. A transaction holding several
+// covering ranges appears once per range; callers dedupe by transaction the
+// same way they do for bucket-lock holder lists.
+func (t *RangeLockTable) AppendHolders(dst []uint64, key uint64) []uint64 {
+	t.mu.Lock()
+	for i := range t.locks {
+		l := t.locks[i]
+		if l.lo <= key && key <= l.hi {
+			dst = append(dst, l.txid)
+		}
+	}
+	t.mu.Unlock()
+	return dst
+}

@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// skipMaxLevel bounds skip-list tower height; 2^24 distinct keys stay within
+// the expected O(log n) search cost.
+const skipMaxLevel = 24
+
+// SkipNode is one key of a SkipList. The node embeds its value V by value so
+// a key's payload (a Bucket for the multiversion ordered index, a record
+// chain head for the single-version one) needs no extra allocation or
+// indirection.
+//
+// Nodes are immortal: once linked they are never removed, even when their
+// value empties out (e.g. every version of the key was garbage collected).
+// That keeps readers lock-free — a scan holding a node pointer can never
+// observe it being freed or recycled — at the cost of retaining one node per
+// distinct key ever inserted, which mirrors how the hash index retains its
+// bucket array.
+type SkipNode[V any] struct {
+	key uint64
+	// V is the caller's per-key value, addressable via &n.V.
+	V    V
+	next []atomic.Pointer[SkipNode[V]]
+}
+
+// Key returns the node's index key.
+func (n *SkipNode[V]) Key() uint64 { return n.key }
+
+// Next returns the node's level-0 successor (the next larger key), or nil.
+func (n *SkipNode[V]) Next() *SkipNode[V] { return n.next[0].Load() }
+
+// SkipList is a concurrent, insert-only skip list keyed by uint64. The zero
+// value is an empty list ready for use.
+//
+// Readers (Get, Seek, Next traversal) are lock-free: they follow atomic
+// pointers only and never block, matching the latch-free reader discipline
+// of the hash index's bucket chains (Section 2.1). Node insertion is
+// serialized by a mutex — creation happens once per distinct key, so the
+// lock is off the steady-state update path, which only appends versions to
+// an existing node's chain.
+type SkipList[V any] struct {
+	// headNext is the sentinel tower: headNext[lvl] is the first node of
+	// level lvl.
+	headNext [skipMaxLevel]atomic.Pointer[SkipNode[V]]
+	mu       sync.Mutex
+	rng      uint64 // xorshift64 state, guarded by mu
+	n        atomic.Int64
+}
+
+// Len returns the number of distinct keys in the list.
+func (s *SkipList[V]) Len() int { return int(s.n.Load()) }
+
+// nextAt returns the level-lvl successor pointer of n, where nil n means the
+// sentinel head.
+func (s *SkipList[V]) nextAt(n *SkipNode[V], lvl int) *atomic.Pointer[SkipNode[V]] {
+	if n == nil {
+		return &s.headNext[lvl]
+	}
+	return &n.next[lvl]
+}
+
+// findPred descends from the top level, returning the rightmost node at
+// level 0 whose key is < key (nil when the head is the predecessor). When
+// preds is non-nil it records the predecessor at every level for linking.
+func (s *SkipList[V]) findPred(key uint64, preds *[skipMaxLevel]*SkipNode[V]) *SkipNode[V] {
+	var cur *SkipNode[V]
+	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := s.nextAt(cur, lvl).Load()
+			if nxt == nil || nxt.key >= key {
+				break
+			}
+			cur = nxt
+		}
+		if preds != nil {
+			preds[lvl] = cur
+		}
+	}
+	return cur
+}
+
+// Get returns the node with exactly key, or nil. Lock-free.
+func (s *SkipList[V]) Get(key uint64) *SkipNode[V] {
+	pred := s.findPred(key, nil)
+	if n := s.nextAt(pred, 0).Load(); n != nil && n.key == key {
+		return n
+	}
+	return nil
+}
+
+// Seek returns the first node with key >= lo, or nil. Lock-free; the
+// starting point of a range scan.
+func (s *SkipList[V]) Seek(lo uint64) *SkipNode[V] {
+	pred := s.findPred(lo, nil)
+	return s.nextAt(pred, 0).Load()
+}
+
+// GetOrCreate returns the node with key, linking a new one if absent.
+func (s *SkipList[V]) GetOrCreate(key uint64) *SkipNode[V] {
+	if n := s.Get(key); n != nil {
+		return n
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var preds [skipMaxLevel]*SkipNode[V]
+	s.findPred(key, &preds)
+	if n := s.nextAt(preds[0], 0).Load(); n != nil && n.key == key {
+		return n // lost the race to another creator
+	}
+	lvl := s.randomLevel()
+	n := &SkipNode[V]{key: key, next: make([]atomic.Pointer[SkipNode[V]], lvl)}
+	// Point the new node at its successors before publishing it, then link
+	// bottom-up: a reader that finds the node at any level can always
+	// continue the descent through it.
+	for i := 0; i < lvl; i++ {
+		n.next[i].Store(s.nextAt(preds[i], i).Load())
+	}
+	for i := 0; i < lvl; i++ {
+		s.nextAt(preds[i], i).Store(n)
+	}
+	s.n.Add(1)
+	return n
+}
+
+// randomLevel draws a tower height with P(level > k) = 2^-k; mu is held.
+func (s *SkipList[V]) randomLevel() int {
+	if s.rng == 0 {
+		s.rng = 0x9E3779B97F4A7C15
+	}
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	lvl := 1
+	for x&1 == 1 && lvl < skipMaxLevel {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}

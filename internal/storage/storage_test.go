@@ -47,7 +47,7 @@ func TestInsertAndChainWalk(t *testing.T) {
 	ix := tbl.Index(0)
 	found := 0
 	for i := uint64(0); i < 100; i++ {
-		for v := ix.Bucket(i).Head(); v != nil; v = v.Next(0) {
+		for v := ix.Lookup(i).Head(); v != nil; v = v.Next(0) {
 			if keyOf(v.Payload) == i {
 				found++
 				break
@@ -77,9 +77,8 @@ func TestUnlink(t *testing.T) {
 	if tbl.Unlink(versions[5]) {
 		t.Fatal("double unlink succeeded")
 	}
-	ix := tbl.Index(0)
 	remaining := 0
-	for v := ix.BucketAt(0).Head(); v != nil; v = v.Next(0) {
+	for v := hashIx(tbl).BucketAt(0).Head(); v != nil; v = v.Next(0) {
 		remaining++
 	}
 	if remaining != 7 {
@@ -89,7 +88,7 @@ func TestUnlink(t *testing.T) {
 
 func TestBucketSizing(t *testing.T) {
 	tbl := newTable(t, 1000)
-	if n := tbl.Index(0).NumBuckets(); n != 1024 {
+	if n := hashIx(tbl).NumBuckets(); n != 1024 {
 		t.Fatalf("buckets = %d, want 1024 (rounded to power of two)", n)
 	}
 }
@@ -120,7 +119,7 @@ func TestMultiIndex(t *testing.T) {
 	// Scan secondary index for key%3 == 1: should find 1, 4, 7.
 	ix := tbl.Index(1)
 	got := map[uint64]bool{}
-	for v := ix.Bucket(1).Head(); v != nil; v = v.Next(1) {
+	for v := ix.Lookup(1).Head(); v != nil; v = v.Next(1) {
 		if keyOf(v.Payload)%3 == 1 {
 			got[keyOf(v.Payload)] = true
 		}
@@ -192,7 +191,7 @@ func TestConcurrentInsertUnlinkRead(t *testing.T) {
 				default:
 				}
 				for i := uint64(0); i < 8; i++ {
-					for v := tbl.Index(0).BucketAt(int(i)).Head(); v != nil; v = v.Next(0) {
+					for v := hashIx(tbl).BucketAt(int(i)).Head(); v != nil; v = v.Next(0) {
 						_ = v.Payload
 					}
 				}
@@ -214,7 +213,7 @@ func TestConcurrentInsertUnlinkRead(t *testing.T) {
 func TestBucketLockTable(t *testing.T) {
 	tbl := newTable(t, 8)
 	blt := NewBucketLockTable()
-	b := tbl.Index(0).BucketAt(0)
+	b := hashIx(tbl).BucketAt(0)
 	blt.Acquire(b, 1)
 	blt.Acquire(b, 2)
 	if b.LockCount() != 2 {
@@ -251,7 +250,7 @@ func TestBucketLockTableConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				b := tbl.Index(0).BucketAt(i % 64)
+				b := hashIx(tbl).BucketAt(i % 64)
 				blt.Acquire(b, uint64(w*1000+i))
 				blt.Release(b, uint64(w*1000+i))
 			}
@@ -259,7 +258,7 @@ func TestBucketLockTableConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 	for i := 0; i < 64; i++ {
-		if c := tbl.Index(0).BucketAt(i).LockCount(); c != 0 {
+		if c := hashIx(tbl).BucketAt(i).LockCount(); c != 0 {
 			t.Fatalf("bucket %d count %d after quiesce", i, c)
 		}
 	}
@@ -270,8 +269,8 @@ func TestQuickBucketRouting(t *testing.T) {
 	tbl := newTable(t, 1024)
 	ix := tbl.Index(0)
 	f := func(key uint64) bool {
-		b1 := ix.Bucket(key)
-		b2 := ix.Bucket(key)
+		b1 := ix.Lookup(key)
+		b2 := ix.Lookup(key)
 		return b1 == b2
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -291,7 +290,7 @@ func TestQuickInsertReachable(t *testing.T) {
 	})
 	reach := func(v *Version, ord int) bool {
 		key := tbl.Index(ord).Key(v.Payload)
-		for c := tbl.Index(ord).Bucket(key).Head(); c != nil; c = c.Next(ord) {
+		for c := tbl.Index(ord).Lookup(key).Head(); c != nil; c = c.Next(ord) {
 			if c == v {
 				return true
 			}
@@ -311,3 +310,7 @@ func TestQuickInsertReachable(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// hashIx returns the table's first index as a HashIndex (test helper for
+// bucket-level access).
+func hashIx(tbl *Table) *HashIndex { return tbl.Index(0).(*HashIndex) }

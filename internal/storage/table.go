@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,12 +11,15 @@ import (
 // application-defined; the engine only needs a 64-bit key per index.
 type KeyFunc func(payload []byte) uint64
 
-// IndexSpec describes one hash index of a table.
+// IndexSpec describes one index of a table.
 type IndexSpec struct {
 	// Name identifies the index for lookups and diagnostics.
 	Name string
 	// Key extracts the index key from a payload.
 	Key KeyFunc
+	// Ordered selects an ordered (range-scannable) index instead of a hash
+	// index. Ordered indexes support ScanRange; Buckets is ignored.
+	Ordered bool
 	// Buckets is the hash table size; it is rounded up to a power of two.
 	// The paper sizes hash tables so there are no collisions; callers should
 	// pass at least the expected row count.
@@ -28,12 +32,77 @@ type TableSpec struct {
 	Indexes []IndexSpec
 }
 
-// Table is a collection of versions reachable through one or more hash
-// indexes. A table has no heap: records are always accessed via an index
+// ErrUnordered is returned when a range scan is attempted on an index that
+// does not maintain key order (a hash index).
+var ErrUnordered = errors.New("storage: index does not support range scans")
+
+// Index is a table access method. Records are only reachable through
+// indexes (Section 2.1); the engines never touch a version except through
+// one of these.
+//
+// Two implementations exist: the hash index of the paper's prototype
+// (point lookups, latch-free bucket-chain readers) and an ordered skip-list
+// index that additionally supports range scans. Readers of either kind
+// follow atomic pointers only; structural changes take short per-bucket
+// latches (plus, for the ordered index, a per-index latch on first
+// insertion of a new key).
+type Index interface {
+	// Ord is the index ordinal within its table: versions reached through
+	// this index chain via their ord-th next pointer.
+	Ord() int
+	// Name returns the index name.
+	Name() string
+	// Ordered reports whether ScanRange is supported.
+	Ordered() bool
+	// Key extracts this index's key from a payload.
+	Key(payload []byte) uint64
+	// Lookup returns the bucket that holds versions with the given key, or
+	// nil when no such bucket exists. A hash bucket also holds colliding
+	// keys (callers filter on Version.Key); an ordered index's bucket holds
+	// exactly one key, and Lookup returns nil for keys never inserted.
+	Lookup(key uint64) *Bucket
+	// Link inserts v at the head of its bucket chain. The version's cached
+	// key for this index must already be set.
+	Link(v *Version)
+	// Unlink removes v from its bucket chain (garbage collection).
+	Unlink(v *Version)
+	// ScanRange returns a cursor over the buckets with keys in [lo, hi], in
+	// ascending key order. Only valid on ordered indexes; a hash index
+	// returns an exhausted cursor (callers gate on Ordered).
+	ScanRange(lo, hi uint64) RangeCursor
+	// RangeLocks returns the index's range-lock table (phantom protection
+	// for pessimistic serializable scans), or nil for hash indexes, whose
+	// bucket locks cover absent keys physically.
+	RangeLocks() *RangeLockTable
+}
+
+// RangeCursor iterates the buckets of an ordered index in ascending key
+// order. The cursor is valid for the life of the index; concurrent inserts
+// of new keys may or may not be observed, exactly like new versions
+// appearing in a hash bucket mid-scan — transactional consistency comes
+// from the layers above (visibility, validation, locks), not the cursor.
+type RangeCursor struct {
+	node *SkipNode[Bucket]
+	hi   uint64
+}
+
+// Next returns the next bucket and its key; ok is false when the cursor is
+// exhausted.
+func (c *RangeCursor) Next() (b *Bucket, key uint64, ok bool) {
+	n := c.node
+	if n == nil || n.Key() > c.hi {
+		return nil, 0, false
+	}
+	c.node = n.Next()
+	return &n.V, n.Key(), true
+}
+
+// Table is a collection of versions reachable through one or more indexes.
+// A table has no heap: records are always accessed via an index
 // (Section 2.1).
 type Table struct {
 	Name    string
-	indexes []*Index
+	indexes []Index
 	// arena recycles payload blocks for rows too large for the version's
 	// inline buffer; blocks return to it when versions are recycled.
 	arena PayloadArena
@@ -52,7 +121,11 @@ func NewTable(spec TableSpec) (*Table, error) {
 		if is.Key == nil {
 			return nil, fmt.Errorf("storage: table %q index %q has no key function", spec.Name, is.Name)
 		}
-		t.indexes = append(t.indexes, newIndex(ord, is))
+		if is.Ordered {
+			t.indexes = append(t.indexes, newOrderedIndex(ord, is))
+		} else {
+			t.indexes = append(t.indexes, newHashIndex(ord, is))
+		}
 	}
 	return t, nil
 }
@@ -61,12 +134,12 @@ func NewTable(spec TableSpec) (*Table, error) {
 func (t *Table) NumIndexes() int { return len(t.indexes) }
 
 // Index returns the index with ordinal ord.
-func (t *Table) Index(ord int) *Index { return t.indexes[ord] }
+func (t *Table) Index(ord int) Index { return t.indexes[ord] }
 
 // IndexByName returns the index with the given name.
-func (t *Table) IndexByName(name string) (*Index, bool) {
+func (t *Table) IndexByName(name string) (Index, bool) {
 	for _, ix := range t.indexes {
-		if ix.spec.Name == name {
+		if ix.Name() == name {
 			return ix, true
 		}
 	}
@@ -78,10 +151,10 @@ func (t *Table) IndexByName(name string) (*Index, bool) {
 // count.
 func (t *Table) Insert(v *Version) {
 	for _, ix := range t.indexes {
-		v.setKey(ix.ord, ix.spec.Key(v.Payload))
+		v.setKey(ix.Ord(), ix.Key(v.Payload))
 	}
 	for _, ix := range t.indexes {
-		ix.insert(v)
+		ix.Link(v)
 	}
 }
 
@@ -93,22 +166,22 @@ func (t *Table) Unlink(v *Version) bool {
 		return false
 	}
 	for _, ix := range t.indexes {
-		ix.unlink(v)
+		ix.Unlink(v)
 	}
 	return true
 }
 
-// Index is a hash index over a table. Bucket chains are singly linked
+// HashIndex is a hash index over a table. Bucket chains are singly linked
 // through the versions' per-index next pointers; readers follow them with
 // atomic loads only.
-type Index struct {
+type HashIndex struct {
 	ord     int
 	spec    IndexSpec
 	mask    uint64
 	buckets []Bucket
 }
 
-func newIndex(ord int, spec IndexSpec) *Index {
+func newHashIndex(ord int, spec IndexSpec) *HashIndex {
 	n := 1
 	for n < spec.Buckets {
 		n <<= 1
@@ -116,20 +189,23 @@ func newIndex(ord int, spec IndexSpec) *Index {
 	if n < 1 {
 		n = 1
 	}
-	return &Index{ord: ord, spec: spec, mask: uint64(n - 1), buckets: make([]Bucket, n)}
+	return &HashIndex{ord: ord, spec: spec, mask: uint64(n - 1), buckets: make([]Bucket, n)}
 }
 
 // Ord returns the index ordinal within its table.
-func (ix *Index) Ord() int { return ix.ord }
+func (ix *HashIndex) Ord() int { return ix.ord }
 
 // Name returns the index name.
-func (ix *Index) Name() string { return ix.spec.Name }
+func (ix *HashIndex) Name() string { return ix.spec.Name }
+
+// Ordered reports range-scan support; hash indexes have none.
+func (ix *HashIndex) Ordered() bool { return false }
 
 // NumBuckets returns the hash table size.
-func (ix *Index) NumBuckets() int { return len(ix.buckets) }
+func (ix *HashIndex) NumBuckets() int { return len(ix.buckets) }
 
 // Key extracts this index's key from a payload.
-func (ix *Index) Key(payload []byte) uint64 { return ix.spec.Key(payload) }
+func (ix *HashIndex) Key(payload []byte) uint64 { return ix.spec.Key(payload) }
 
 // mix is a 64-bit finalizer (splitmix64) spreading sequential keys across
 // buckets.
@@ -143,16 +219,29 @@ func mix(k uint64) uint64 {
 }
 
 // Bucket returns the bucket for key.
-func (ix *Index) Bucket(key uint64) *Bucket {
+func (ix *HashIndex) Bucket(key uint64) *Bucket {
 	return &ix.buckets[mix(key)&ix.mask]
 }
+
+// Lookup returns the bucket covering key; for a hash index every key maps to
+// a bucket, present or not.
+func (ix *HashIndex) Lookup(key uint64) *Bucket { return ix.Bucket(key) }
 
 // BucketAt returns bucket i; scans over whole tables walk all buckets of one
 // index (Section 2.1: "to scan a table, one simply scans all buckets of any
 // index on the table").
-func (ix *Index) BucketAt(i int) *Bucket { return &ix.buckets[i] }
+func (ix *HashIndex) BucketAt(i int) *Bucket { return &ix.buckets[i] }
 
-func (ix *Index) insert(v *Version) {
+// ScanRange on a hash index returns an exhausted cursor; callers gate range
+// scans on Ordered.
+func (ix *HashIndex) ScanRange(lo, hi uint64) RangeCursor { return RangeCursor{} }
+
+// RangeLocks returns nil: hash bucket locks cover absent keys physically, so
+// no predicate-shaped lock table is needed.
+func (ix *HashIndex) RangeLocks() *RangeLockTable { return nil }
+
+// Link inserts v at the head of its bucket chain.
+func (ix *HashIndex) Link(v *Version) {
 	b := ix.Bucket(v.Key(ix.ord))
 	b.mu.Lock()
 	v.setNext(ix.ord, b.head.Load())
@@ -160,29 +249,35 @@ func (ix *Index) insert(v *Version) {
 	b.mu.Unlock()
 }
 
-func (ix *Index) unlink(v *Version) {
-	b := ix.Bucket(v.Key(ix.ord))
+// Unlink removes v from its bucket chain.
+func (ix *HashIndex) Unlink(v *Version) {
+	ix.Bucket(v.Key(ix.ord)).unlink(v, ix.ord)
+}
+
+// unlink removes v from b's chain; shared by both index kinds.
+func (b *Bucket) unlink(v *Version, ord int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	cur := b.head.Load()
 	if cur == v {
-		b.head.Store(v.Next(ix.ord))
+		b.head.Store(v.Next(ord))
 		return
 	}
 	for cur != nil {
-		next := cur.Next(ix.ord)
+		next := cur.Next(ord)
 		if next == v {
-			cur.setNext(ix.ord, v.Next(ix.ord))
+			cur.setNext(ord, v.Next(ord))
 			return
 		}
 		cur = next
 	}
 }
 
-// Bucket is one hash chain head. Readers call Head and Version.Next with no
-// locking; the mutex serializes inserts and unlinks only. lockCount is the
-// bucket-lock counter of Section 4.1.2, stored in the bucket so scans can
-// check for locks cheaply.
+// Bucket is one chain of versions: a hash bucket (all keys hashing there) or
+// an ordered-index node's chain (exactly one key). Readers call Head and
+// Version.Next with no locking; the mutex serializes inserts and unlinks
+// only. lockCount is the bucket-lock counter of Section 4.1.2, stored in the
+// bucket so scans can check for locks cheaply.
 type Bucket struct {
 	mu        sync.Mutex
 	head      atomic.Pointer[Version]

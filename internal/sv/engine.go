@@ -24,6 +24,12 @@ type Stats struct {
 	Commits      uint64
 	Aborts       uint64
 	LockTimeouts uint64
+	// ReadOnlyBegins counts transactions started on the read-only fast lane
+	// (BeginReadOnly): no transaction-ID draw, no end-sequence draw.
+	ReadOnlyBegins uint64
+	// FastCommits counts commits that skipped the end-sequence draw because
+	// the transaction wrote nothing.
+	FastCommits uint64
 }
 
 // Engine is the single-version locking storage engine ("1V").
@@ -35,9 +41,11 @@ type Engine struct {
 	tablesMu sync.RWMutex
 	tables   map[string]*Table
 
-	commits  atomic.Uint64
-	aborts   atomic.Uint64
-	timeouts atomic.Uint64
+	commits     atomic.Uint64
+	aborts      atomic.Uint64
+	timeouts    atomic.Uint64
+	roBegins    atomic.Uint64
+	fastCommits atomic.Uint64
 }
 
 // NewEngine constructs a single-version engine.
@@ -59,20 +67,55 @@ func (e *Engine) Close() error {
 // Stats returns a snapshot of engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Commits:      e.commits.Load(),
-		Aborts:       e.aborts.Load(),
-		LockTimeouts: e.timeouts.Load(),
+		Commits:        e.commits.Load(),
+		Aborts:         e.aborts.Load(),
+		LockTimeouts:   e.timeouts.Load(),
+		ReadOnlyBegins: e.roBegins.Load(),
+		FastCommits:    e.fastCommits.Load(),
 	}
 }
 
-// Table is a single-version table: records linked into one bucket chain per
-// index, with the lock table embedded in the buckets.
-type Table struct {
-	Name    string
-	indexes []*index
+// Counters returns the engine's shared sequence counters (transaction IDs
+// drawn, end timestamps drawn). The read-only fast lane's contract is that a
+// read transaction advances neither.
+func (e *Engine) Counters() (txSeq, endSeq uint64) {
+	return e.txSeq.Load(), e.endSeq.Load()
 }
 
-type index struct {
+// Table is a single-version table: records linked into one chain per index
+// key (hash bucket or skip-list node), with the lock machinery embedded in
+// the index.
+type Table struct {
+	Name    string
+	indexes []svIndex
+	// hashIxs[i] is indexes[i] when it is a hash index, nil otherwise: a
+	// concrete-typed fast path that spares the point-access hot loop the
+	// interface dispatch (the 1V engine's per-op costs are small enough
+	// that an itab check per scan shows up in the profile).
+	hashIxs []*hashIndex
+}
+
+// svIndex is the single-version analogue of storage.Index: an access method
+// over in-place-updated records. The hash implementation embeds a
+// reader/writer keyLock per bucket; the ordered implementation locks
+// predicate-shaped key ranges in a per-index range-lock manager instead
+// (there is no bucket to lock for a key that was never inserted).
+type svIndex interface {
+	ordinal() int
+	ordered() bool
+	keyOf(payload []byte) uint64
+	// link adds r to the chain for its cached key; the caller holds the
+	// covering exclusive lock.
+	link(r *Record)
+	// unlink removes r from the chain under key; the caller holds the
+	// covering exclusive lock.
+	unlink(r *Record, key uint64)
+}
+
+// hashIndex is the paper's embedded-lock-table hash index: each hash key
+// maps to one reader/writer lock covering all records with that hash key,
+// which automatically protects against phantoms.
+type hashIndex struct {
 	ord     int
 	spec    storage.IndexSpec
 	mask    uint64
@@ -84,9 +127,27 @@ type bucket struct {
 	head *Record
 }
 
+// orderedIndex is a range-scannable access method: a skip list with one
+// record chain per distinct key. Lock coverage is provided by a per-index
+// range-lock manager (S ranges for scans, X points for writes) rather than
+// per-bucket locks, because phantom protection for ranges must cover keys
+// that do not physically exist yet.
+type orderedIndex struct {
+	ord  int
+	spec storage.IndexSpec
+	list storage.SkipList[recordChain]
+	rl   svRangeLocks
+}
+
+// recordChain is an ordered-index node value: the head of the key's record
+// chain. It is read and written only under a covering range lock.
+type recordChain struct {
+	head *Record
+}
+
 // Record is a single-version record. Payload and chain pointers are read
-// under the covering buckets' shared locks and written under exclusive
-// locks.
+// under the covering locks (bucket keyLocks for hash indexes, range locks
+// for ordered ones) and written under exclusive covers.
 type Record struct {
 	payload []byte
 	keys    []uint64 // cached index keys, kept in sync with payload
@@ -108,8 +169,56 @@ func mix(k uint64) uint64 {
 	return k
 }
 
-func (ix *index) bucket(key uint64) *bucket {
-	return &ix.buckets[mix(key)&ix.mask]
+func (ix *hashIndex) ordinal() int              { return ix.ord }
+func (ix *hashIndex) ordered() bool             { return false }
+func (ix *hashIndex) keyOf(p []byte) uint64     { return ix.spec.Key(p) }
+func (ix *hashIndex) bucket(key uint64) *bucket { return &ix.buckets[mix(key)&ix.mask] }
+
+func (ix *hashIndex) link(r *Record) {
+	b := ix.bucket(r.keys[ix.ord])
+	r.next[ix.ord] = b.head
+	b.head = r
+}
+
+func (ix *hashIndex) unlink(r *Record, key uint64) {
+	b := ix.bucket(key)
+	if b.head == r {
+		b.head = r.next[ix.ord]
+		return
+	}
+	for cur := b.head; cur != nil; cur = cur.next[ix.ord] {
+		if cur.next[ix.ord] == r {
+			cur.next[ix.ord] = r.next[ix.ord]
+			return
+		}
+	}
+}
+
+func (ix *orderedIndex) ordinal() int          { return ix.ord }
+func (ix *orderedIndex) ordered() bool         { return true }
+func (ix *orderedIndex) keyOf(p []byte) uint64 { return ix.spec.Key(p) }
+
+func (ix *orderedIndex) link(r *Record) {
+	n := ix.list.GetOrCreate(r.keys[ix.ord])
+	r.next[ix.ord] = n.V.head
+	n.V.head = r
+}
+
+func (ix *orderedIndex) unlink(r *Record, key uint64) {
+	n := ix.list.Get(key)
+	if n == nil {
+		return
+	}
+	if n.V.head == r {
+		n.V.head = r.next[ix.ord]
+		return
+	}
+	for cur := n.V.head; cur != nil; cur = cur.next[ix.ord] {
+		if cur.next[ix.ord] == r {
+			cur.next[ix.ord] = r.next[ix.ord]
+			return
+		}
+	}
 }
 
 // CreateTable registers a new table.
@@ -122,16 +231,23 @@ func (e *Engine) CreateTable(spec storage.TableSpec) (*Table, error) {
 		if is.Key == nil {
 			return nil, fmt.Errorf("sv: table %q index %q has no key function", spec.Name, is.Name)
 		}
+		if is.Ordered {
+			t.indexes = append(t.indexes, &orderedIndex{ord: ord, spec: is})
+			t.hashIxs = append(t.hashIxs, nil)
+			continue
+		}
 		n := 1
 		for n < is.Buckets {
 			n <<= 1
 		}
-		t.indexes = append(t.indexes, &index{
+		hix := &hashIndex{
 			ord:     ord,
 			spec:    is,
 			mask:    uint64(n - 1),
 			buckets: make([]bucket, n),
-		})
+		}
+		t.indexes = append(t.indexes, hix)
+		t.hashIxs = append(t.hashIxs, hix)
 	}
 	e.tablesMu.Lock()
 	e.tables[spec.Name] = t
@@ -154,33 +270,10 @@ func (e *Engine) LoadRow(t *Table, payload []byte) {
 		keys:    make([]uint64, len(t.indexes)),
 		next:    make([]*Record, len(t.indexes)),
 	}
+	for ord, ix := range t.indexes {
+		r.keys[ord] = ix.keyOf(payload)
+	}
 	for _, ix := range t.indexes {
-		r.keys[ix.ord] = ix.spec.Key(payload)
-		b := ix.bucket(r.keys[ix.ord])
-		r.next[ix.ord] = b.head
-		b.head = r
-	}
-}
-
-// link adds r to ix's chain; the caller holds the bucket's exclusive lock.
-func (ix *index) link(r *Record) {
-	b := ix.bucket(r.keys[ix.ord])
-	r.next[ix.ord] = b.head
-	b.head = r
-}
-
-// unlink removes r from ix's chain under key; the caller holds the bucket's
-// exclusive lock.
-func (ix *index) unlink(r *Record, key uint64) {
-	b := ix.bucket(key)
-	if b.head == r {
-		b.head = r.next[ix.ord]
-		return
-	}
-	for cur := b.head; cur != nil; cur = cur.next[ix.ord] {
-		if cur.next[ix.ord] == r {
-			cur.next[ix.ord] = r.next[ix.ord]
-			return
-		}
+		ix.link(r)
 	}
 }

@@ -1,0 +1,107 @@
+package sv
+
+import (
+	"sync"
+	"time"
+)
+
+// svRangeLocks is a per-ordered-index range lock manager: the single-version
+// engine's answer to phantom protection on an access method with no physical
+// bucket per key. Scans take a shared lock on the key range [lo, hi] they
+// read; writers take an exclusive lock on the point range [k, k] they
+// insert, update or delete. Overlapping S/X and X/X requests from different
+// transactions conflict; the requester waits with a deadline, and expiry
+// aborts the transaction — the same timeout-based deadlock breaking the
+// engine's keyLocks use.
+//
+// Holding an S range to commit (repeatable read and serializable) gives
+// both read stability and phantom avoidance: an insert into the scanned
+// range blocks until the scanner completes. At read committed the scan
+// releases its range when it ends (cursor stability).
+//
+// Entries also carry the memory-model duty the keyLocks carry for hash
+// buckets: a record chain in an ordered index is only read under an S (or X)
+// entry covering its key and only written under a conflicting X entry, so
+// every read of a chain is ordered after the write that produced it via the
+// manager's mutex.
+type svRangeLocks struct {
+	mu      sync.Mutex
+	entries []svRangeEntry
+	waitCh  chan struct{}
+}
+
+type svRangeEntry struct {
+	lo, hi uint64
+	txid   uint64
+	excl   bool
+}
+
+// conflicts reports whether [lo, hi] (excl) collides with an entry of
+// another transaction; mu is held.
+func (m *svRangeLocks) conflicts(lo, hi, txid uint64, excl bool) bool {
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.txid == txid {
+			continue // recursion and upgrades never self-conflict
+		}
+		if !excl && !e.excl {
+			continue // S/S is compatible
+		}
+		if e.lo <= hi && lo <= e.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// acquire takes a lock on [lo, hi], waiting at most timeout for conflicting
+// entries to drain.
+func (m *svRangeLocks) acquire(lo, hi, txid uint64, excl bool, timeout time.Duration) error {
+	var timer *time.Timer
+	defer stopTimer(&timer)
+	m.mu.Lock()
+	for {
+		if !m.conflicts(lo, hi, txid, excl) {
+			m.entries = append(m.entries, svRangeEntry{lo, hi, txid, excl})
+			m.mu.Unlock()
+			return nil
+		}
+		if m.waitCh == nil {
+			m.waitCh = make(chan struct{})
+		}
+		ch := m.waitCh
+		m.mu.Unlock()
+		if timer == nil {
+			if timeout <= 0 {
+				return ErrLockTimeout
+			}
+			timer = time.NewTimer(timeout)
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return ErrLockTimeout
+		}
+		m.mu.Lock()
+	}
+}
+
+// release drops one [lo, hi] entry held by txid and wakes waiters. Releasing
+// an entry that is not held is a no-op.
+func (m *svRangeLocks) release(lo, hi, txid uint64, excl bool) {
+	m.mu.Lock()
+	for i := range m.entries {
+		e := m.entries[i]
+		if e.txid == txid && e.lo == lo && e.hi == hi && e.excl == excl {
+			last := len(m.entries) - 1
+			m.entries[i] = m.entries[last]
+			m.entries = m.entries[:last]
+			break
+		}
+	}
+	if m.waitCh != nil {
+		close(m.waitCh)
+		m.waitCh = nil
+	}
+	m.mu.Unlock()
+}

@@ -153,7 +153,7 @@ func TestDeleteCommitUnlinks(t *testing.T) {
 	}
 	tx2.Commit()
 	// Physically unlinked.
-	ix := tbl.indexes[0]
+	ix := tbl.indexes[0].(*hashIndex)
 	if ix.bucket(1).head != nil && ix.bucket(1).head.keys[0] == 1 {
 		t.Fatal("record still linked after delete commit")
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/iso"
+	"repro/internal/storage"
 	"repro/internal/wal"
 )
 
@@ -16,11 +17,21 @@ var (
 	// ErrConflict is returned when a record changed identity under the
 	// transaction (deleted or relocated between lookup and update).
 	ErrConflict = errors.New("sv: record conflict")
+	// ErrReadOnlyTx is returned when a mutation is attempted on a read-only
+	// fast-lane transaction (BeginReadOnly).
+	ErrReadOnlyTx = errors.New("sv: read-only transaction cannot write")
 )
 
 type heldLock struct {
 	l    *keyLock
 	s, x int
+}
+
+// rangeHold is one range-lock entry held to commit.
+type rangeHold struct {
+	m      *svRangeLocks
+	lo, hi uint64
+	excl   bool
 }
 
 type undoKind uint8
@@ -46,10 +57,15 @@ type Tx struct {
 	id   uint64
 	iso  iso.Level
 	done bool
+	// readOnly marks a fast-lane reader from BeginReadOnly: it drew no
+	// transaction ID (id 0 — shared locks carry no owner identity, so none
+	// is needed), draws no end sequence at commit, and rejects mutations.
+	readOnly bool
 
-	held   []heldLock
-	undo   []undoRec
-	writes []wal.Entry
+	held       []heldLock
+	heldRanges []rangeHold
+	undo       []undoRec
+	writes     []wal.Entry
 }
 
 // Begin starts a transaction. Snapshot isolation is not expressible in a
@@ -64,6 +80,26 @@ func (e *Engine) Begin(level iso.Level) *Tx {
 		iso: level,
 	}
 }
+
+// BeginReadOnly starts a read-only transaction on the 1V fast lane: it draws
+// no transaction ID (shared lock acquisition needs no owner identity) and
+// its commit skips the end-sequence draw, so — like the multiversion
+// engine's BeginReadOnly — a read transaction performs zero shared-counter
+// increments. Reads run at repeatable read (read locks held to commit), the
+// strongest consistency a read-only transaction needs in this engine; every
+// mutation fails with ErrReadOnlyTx.
+//
+// Unlike the MV fast lane this does not make reads lock-free: single-version
+// records have no timestamps, so even read-only transactions must take
+// shared locks for read stability (Section 5.2.1). The fast lane removes the
+// two shared counters, not the locks.
+func (e *Engine) BeginReadOnly() *Tx {
+	e.roBegins.Add(1)
+	return &Tx{e: e, iso: iso.RepeatableRead, readOnly: true}
+}
+
+// ReadOnly reports whether the transaction is a fast-lane reader.
+func (tx *Tx) ReadOnly() bool { return tx.readOnly }
 
 func (tx *Tx) registered(l *keyLock) *heldLock {
 	for i := range tx.held {
@@ -97,49 +133,135 @@ func (tx *Tx) lockX(l *keyLock) error {
 	return nil
 }
 
+// lockRange acquires a range lock held to commit on an ordered index.
+func (tx *Tx) lockRange(m *svRangeLocks, lo, hi uint64, excl bool) error {
+	if err := m.acquire(lo, hi, tx.id, excl, tx.e.cfg.LockTimeout); err != nil {
+		tx.e.timeouts.Add(1)
+		return err
+	}
+	tx.heldRanges = append(tx.heldRanges, rangeHold{m, lo, hi, excl})
+	return nil
+}
+
 func (tx *Tx) releaseAll() {
 	for i := range tx.held {
 		h := &tx.held[i]
 		h.l.releaseBulk(tx.id, h.s, h.x > 0)
 	}
 	tx.held = nil
+	for i := range tx.heldRanges {
+		h := &tx.heldRanges[i]
+		h.m.release(h.lo, h.hi, tx.id, h.excl)
+	}
+	tx.heldRanges = nil
 }
 
 // Scan iterates the records in index indexOrd whose key equals key and whose
-// payload satisfies pred. The bucket's lock covers every record with the
-// hash key, so holding it to commit (repeatable read and above) provides
-// both read stability and phantom protection; at read committed the lock is
-// released when the scan ends (cursor stability). fn must not retain the
-// record or its payload beyond the callback unless the isolation level holds
-// the lock.
+// payload satisfies pred. On a hash index the bucket's lock covers every
+// record with the hash key; on an ordered index a range lock on [key, key]
+// covers the key whether or not it physically exists. Holding the cover to
+// commit (repeatable read and above) provides both read stability and
+// phantom protection; at read committed the cover is released when the scan
+// ends (cursor stability). fn must not retain the record or its payload
+// beyond the callback unless the isolation level holds the lock.
 func (tx *Tx) Scan(t *Table, indexOrd int, key uint64, pred Pred, fn func(*Record) bool) error {
 	if tx.done {
 		return ErrTxDone
 	}
-	ix := t.indexes[indexOrd]
-	b := ix.bucket(key)
-	l := &b.lock
 	short := tx.iso == iso.ReadCommitted
+	if ix := t.hashIxs[indexOrd]; ix != nil {
+		b := ix.bucket(key)
+		l := &b.lock
+		if short {
+			if err := l.acquireS(tx.id, tx.e.cfg.LockTimeout); err != nil {
+				tx.e.timeouts.Add(1)
+				return err
+			}
+			defer l.releaseS(tx.id)
+		} else {
+			if err := tx.lockS(l); err != nil {
+				return err
+			}
+		}
+		scanChain(b.head, indexOrd, key, pred, fn)
+		return nil
+	}
+	ix := t.indexes[indexOrd].(*orderedIndex)
 	if short {
-		if err := l.acquireS(tx.id, tx.e.cfg.LockTimeout); err != nil {
+		if err := ix.rl.acquire(key, key, tx.id, false, tx.e.cfg.LockTimeout); err != nil {
 			tx.e.timeouts.Add(1)
 			return err
 		}
-		defer l.releaseS(tx.id)
+		defer ix.rl.release(key, key, tx.id, false)
 	} else {
-		if err := tx.lockS(l); err != nil {
+		if err := tx.lockRange(&ix.rl, key, key, false); err != nil {
 			return err
 		}
 	}
-	for r := b.head; r != nil; r = r.next[indexOrd] {
-		if r.deleted || r.keys[indexOrd] != key {
+	n := ix.list.Get(key)
+	if n == nil {
+		return nil
+	}
+	scanChain(n.V.head, indexOrd, key, pred, fn)
+	return nil
+}
+
+// scanChain walks one record chain, filtering deleted records, key
+// mismatches (hash collisions) and the residual predicate.
+func scanChain(head *Record, ord int, key uint64, pred Pred, fn func(*Record) bool) {
+	for r := head; r != nil; r = r.next[ord] {
+		if r.deleted || r.keys[ord] != key {
 			continue
 		}
 		if pred != nil && !pred(r.payload) {
 			continue
 		}
 		if !fn(r) {
-			break
+			return
+		}
+	}
+}
+
+// ScanRange iterates the records with keys in [lo, hi] (inclusive) in
+// ascending key order. The index must be Ordered or storage.ErrUnordered is
+// returned. The scan takes a shared range lock on [lo, hi]: held to commit
+// at repeatable read and serializable (read stability + phantom avoidance —
+// an insert into the range blocks until the scanner completes), released at
+// end of scan at read committed (cursor stability).
+func (tx *Tx) ScanRange(t *Table, indexOrd int, lo, hi uint64, pred Pred, fn func(*Record) bool) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	ix, ok := t.indexes[indexOrd].(*orderedIndex)
+	if !ok {
+		return storage.ErrUnordered
+	}
+	if lo > hi {
+		return nil
+	}
+	short := tx.iso == iso.ReadCommitted
+	if short {
+		if err := ix.rl.acquire(lo, hi, tx.id, false, tx.e.cfg.LockTimeout); err != nil {
+			tx.e.timeouts.Add(1)
+			return err
+		}
+		defer ix.rl.release(lo, hi, tx.id, false)
+	} else {
+		if err := tx.lockRange(&ix.rl, lo, hi, false); err != nil {
+			return err
+		}
+	}
+	for n := ix.list.Seek(lo); n != nil && n.Key() <= hi; n = n.Next() {
+		for r := n.V.head; r != nil; r = r.next[indexOrd] {
+			if r.deleted {
+				continue
+			}
+			if pred != nil && !pred(r.payload) {
+				continue
+			}
+			if !fn(r) {
+				return nil
+			}
 		}
 	}
 	return nil
@@ -158,22 +280,37 @@ func (tx *Tx) Lookup(t *Table, indexOrd int, key uint64, pred Pred) (*Record, bo
 	return found, found != nil, nil
 }
 
-// Insert creates a record, exclusively locking and linking it into every
-// index bucket it hashes to. Readers of those buckets block until commit.
+// lockKeyX takes the exclusive cover for key on one index: the bucket lock
+// of a hash index, or an X point-range on an ordered one.
+func (tx *Tx) lockKeyX(ix svIndex, key uint64) error {
+	switch ix := ix.(type) {
+	case *hashIndex:
+		return tx.lockX(&ix.bucket(key).lock)
+	case *orderedIndex:
+		return tx.lockRange(&ix.rl, key, key, true)
+	}
+	return ErrConflict // unreachable
+}
+
+// Insert creates a record, exclusively locking its key cover in every index
+// and linking it. Readers of those covers block until commit.
 func (tx *Tx) Insert(t *Table, payload []byte) error {
 	if tx.done {
 		return ErrTxDone
+	}
+	if tx.readOnly {
+		return ErrReadOnlyTx
 	}
 	r := &Record{
 		payload: payload,
 		keys:    make([]uint64, len(t.indexes)),
 		next:    make([]*Record, len(t.indexes)),
 	}
-	for _, ix := range t.indexes {
-		r.keys[ix.ord] = ix.spec.Key(payload)
+	for ord, ix := range t.indexes {
+		r.keys[ord] = ix.keyOf(payload)
 	}
-	for _, ix := range t.indexes {
-		if err := tx.lockX(&ix.bucket(r.keys[ix.ord]).lock); err != nil {
+	for ord, ix := range t.indexes {
+		if err := tx.lockKeyX(ix, r.keys[ord]); err != nil {
 			return err
 		}
 	}
@@ -185,17 +322,17 @@ func (tx *Tx) Insert(t *Table, payload []byte) error {
 	return nil
 }
 
-// lockRecordX exclusively locks every bucket covering r, verifying that r's
+// lockRecordX exclusively locks every cover of r, verifying that r's
 // identity did not change while the locks were being acquired.
 func (tx *Tx) lockRecordX(t *Table, r *Record) ([]uint64, error) {
 	keys := append([]uint64(nil), r.keys...)
-	for _, ix := range t.indexes {
-		if err := tx.lockX(&ix.bucket(keys[ix.ord]).lock); err != nil {
+	for ord, ix := range t.indexes {
+		if err := tx.lockKeyX(ix, keys[ord]); err != nil {
 			return nil, err
 		}
 	}
-	for _, ix := range t.indexes {
-		if r.keys[ix.ord] != keys[ix.ord] {
+	for ord := range t.indexes {
+		if r.keys[ord] != keys[ord] {
 			return nil, ErrConflict // relocated concurrently; extremely rare
 		}
 	}
@@ -205,24 +342,27 @@ func (tx *Tx) lockRecordX(t *Table, r *Record) ([]uint64, error) {
 	return keys, nil
 }
 
-// Update overwrites r's payload in place, relocating it between buckets if
-// an index key changed.
+// Update overwrites r's payload in place, relocating it between chains if an
+// index key changed.
 func (tx *Tx) Update(t *Table, r *Record, newPayload []byte) error {
 	if tx.done {
 		return ErrTxDone
+	}
+	if tx.readOnly {
+		return ErrReadOnlyTx
 	}
 	oldKeys, err := tx.lockRecordX(t, r)
 	if err != nil {
 		return err
 	}
 	newKeys := make([]uint64, len(t.indexes))
-	for _, ix := range t.indexes {
-		newKeys[ix.ord] = ix.spec.Key(newPayload)
+	for ord, ix := range t.indexes {
+		newKeys[ord] = ix.keyOf(newPayload)
 	}
-	// Lock destination buckets for any key change before relinking.
-	for _, ix := range t.indexes {
-		if newKeys[ix.ord] != oldKeys[ix.ord] {
-			if err := tx.lockX(&ix.bucket(newKeys[ix.ord]).lock); err != nil {
+	// Lock destination covers for any key change before relinking.
+	for ord, ix := range t.indexes {
+		if newKeys[ord] != oldKeys[ord] {
+			if err := tx.lockKeyX(ix, newKeys[ord]); err != nil {
 				return err
 			}
 		}
@@ -234,15 +374,15 @@ func (tx *Tx) Update(t *Table, r *Record, newPayload []byte) error {
 		oldPayload: r.payload,
 		oldKeys:    oldKeys,
 	})
-	for _, ix := range t.indexes {
-		if newKeys[ix.ord] != oldKeys[ix.ord] {
-			ix.unlink(r, oldKeys[ix.ord])
+	for ord, ix := range t.indexes {
+		if newKeys[ord] != oldKeys[ord] {
+			ix.unlink(r, oldKeys[ord])
 		}
 	}
 	r.payload = newPayload
 	copy(r.keys, newKeys)
-	for _, ix := range t.indexes {
-		if newKeys[ix.ord] != oldKeys[ix.ord] {
+	for ord, ix := range t.indexes {
+		if newKeys[ord] != oldKeys[ord] {
 			ix.link(r)
 		}
 	}
@@ -255,6 +395,9 @@ func (tx *Tx) Update(t *Table, r *Record, newPayload []byte) error {
 func (tx *Tx) Delete(t *Table, r *Record) error {
 	if tx.done {
 		return ErrTxDone
+	}
+	if tx.readOnly {
+		return ErrReadOnlyTx
 	}
 	oldKeys, err := tx.lockRecordX(t, r)
 	if err != nil {
@@ -272,22 +415,28 @@ func (tx *Tx) Delete(t *Table, r *Record) error {
 	return nil
 }
 
-// UpdateWhere updates every matching record with mut(old payload), returning
-// the number updated.
-func (tx *Tx) UpdateWhere(t *Table, indexOrd int, key uint64, pred Pred, mut func(old []byte) []byte) (int, error) {
-	if tx.done {
-		return 0, ErrTxDone
-	}
+// collectMatches locks the cover for key shared-held-to-commit (the scan
+// feeds an update, so cursor stability must extend to the write) and returns
+// the matching records.
+func (tx *Tx) collectMatches(t *Table, indexOrd int, key uint64, pred Pred) ([]*Record, error) {
 	var targets []*Record
-	// Hold the bucket lock for the duration regardless of isolation: the
-	// scan feeds an update, so cursor stability must extend to the write.
-	ix := t.indexes[indexOrd]
-	l := &ix.bucket(key).lock
-	if err := tx.lockS(l); err != nil {
-		return 0, err
+	var head *Record
+	switch ix := t.indexes[indexOrd].(type) {
+	case *hashIndex:
+		b := ix.bucket(key)
+		if err := tx.lockS(&b.lock); err != nil {
+			return nil, err
+		}
+		head = b.head
+	case *orderedIndex:
+		if err := tx.lockRange(&ix.rl, key, key, false); err != nil {
+			return nil, err
+		}
+		if n := ix.list.Get(key); n != nil {
+			head = n.V.head
+		}
 	}
-	b := ix.bucket(key)
-	for r := b.head; r != nil; r = r.next[indexOrd] {
+	for r := head; r != nil; r = r.next[indexOrd] {
 		if r.deleted || r.keys[indexOrd] != key {
 			continue
 		}
@@ -295,6 +444,22 @@ func (tx *Tx) UpdateWhere(t *Table, indexOrd int, key uint64, pred Pred, mut fun
 			continue
 		}
 		targets = append(targets, r)
+	}
+	return targets, nil
+}
+
+// UpdateWhere updates every matching record with mut(old payload), returning
+// the number updated.
+func (tx *Tx) UpdateWhere(t *Table, indexOrd int, key uint64, pred Pred, mut func(old []byte) []byte) (int, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	if tx.readOnly {
+		return 0, ErrReadOnlyTx
+	}
+	targets, err := tx.collectMatches(t, indexOrd, key, pred)
+	if err != nil {
+		return 0, err
 	}
 	for _, r := range targets {
 		if err := tx.Update(t, r, mut(r.payload)); err != nil {
@@ -309,21 +474,12 @@ func (tx *Tx) DeleteWhere(t *Table, indexOrd int, key uint64, pred Pred) (int, e
 	if tx.done {
 		return 0, ErrTxDone
 	}
-	var targets []*Record
-	ix := t.indexes[indexOrd]
-	l := &ix.bucket(key).lock
-	if err := tx.lockS(l); err != nil {
-		return 0, err
+	if tx.readOnly {
+		return 0, ErrReadOnlyTx
 	}
-	b := ix.bucket(key)
-	for r := b.head; r != nil; r = r.next[indexOrd] {
-		if r.deleted || r.keys[indexOrd] != key {
-			continue
-		}
-		if pred != nil && !pred(r.payload) {
-			continue
-		}
-		targets = append(targets, r)
+	targets, err := tx.collectMatches(t, indexOrd, key, pred)
+	if err != nil {
+		return 0, err
 	}
 	for _, r := range targets {
 		if err := tx.Delete(t, r); err != nil {
@@ -334,10 +490,21 @@ func (tx *Tx) DeleteWhere(t *Table, indexOrd int, key uint64, pred Pred) (int, e
 }
 
 // Commit writes the redo record, physically removes deleted records (still
-// under their exclusive locks), and releases all locks.
+// under their exclusive locks), and releases all locks. Transactions that
+// wrote nothing — read-only fast-lane transactions always, but also plain
+// transactions that only read — skip the end-sequence draw entirely: with no
+// redo record to order, the commit point needs no position in the global
+// commit order.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
+	}
+	if len(tx.writes) == 0 && len(tx.undo) == 0 {
+		tx.releaseAll()
+		tx.done = true
+		tx.e.commits.Add(1)
+		tx.e.fastCommits.Add(1)
+		return nil
 	}
 	endTS := tx.e.endSeq.Add(1)
 	if tx.e.cfg.Log != nil && len(tx.writes) > 0 {
@@ -350,8 +517,8 @@ func (tx *Tx) Commit() error {
 	for i := range tx.undo {
 		u := &tx.undo[i]
 		if u.kind == undoDelete {
-			for _, ix := range u.t.indexes {
-				ix.unlink(u.r, u.r.keys[ix.ord])
+			for ord, ix := range u.t.indexes {
+				ix.unlink(u.r, u.r.keys[ord])
 			}
 		}
 	}
@@ -375,21 +542,21 @@ func (tx *Tx) rollback() {
 		u := &tx.undo[i]
 		switch u.kind {
 		case undoInsert:
-			for _, ix := range u.t.indexes {
-				ix.unlink(u.r, u.r.keys[ix.ord])
+			for ord, ix := range u.t.indexes {
+				ix.unlink(u.r, u.r.keys[ord])
 			}
 		case undoUpdate:
 			changed := make([]bool, len(u.t.indexes))
-			for _, ix := range u.t.indexes {
-				if u.r.keys[ix.ord] != u.oldKeys[ix.ord] {
-					changed[ix.ord] = true
-					ix.unlink(u.r, u.r.keys[ix.ord])
+			for ord, ix := range u.t.indexes {
+				if u.r.keys[ord] != u.oldKeys[ord] {
+					changed[ord] = true
+					ix.unlink(u.r, u.r.keys[ord])
 				}
 			}
 			u.r.payload = u.oldPayload
 			copy(u.r.keys, u.oldKeys)
-			for _, ix := range u.t.indexes {
-				if changed[ix.ord] {
+			for ord, ix := range u.t.indexes {
+				if changed[ord] {
 					ix.link(u.r)
 				}
 			}

@@ -86,6 +86,19 @@ func Table(db *core.Database, n uint64) (*core.Table, error) {
 	return tbl, nil
 }
 
+// OrderedTable builds the same single-table schema with an ordered
+// (range-scannable) primary index instead of a hash index.
+func OrderedTable(db *core.Database, n uint64) (*core.Table, error) {
+	tbl, err := db.CreateTable(core.TableSpec{
+		Name:    "rows",
+		Indexes: []core.IndexSpec{{Name: "pk", Key: RowKey, Ordered: true}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
 // Load populates the table with n rows keyed 0..n-1, value = key.
 func Load(db *core.Database, tbl *core.Table, n uint64) {
 	for k := uint64(0); k < n; k++ {
@@ -120,6 +133,52 @@ func (h Homogeneous) Run(tx *core.Tx, rng *rand.Rand) (int, error) {
 		key := h.Dist.Next(rng)
 		newVal := rng.Uint64()
 		_, err := tx.UpdateWhere(h.Table, 0, key, nil, func(old []byte) []byte {
+			return Row(key, newVal)
+		})
+		if err != nil {
+			return reads, err
+		}
+	}
+	return reads, nil
+}
+
+// RangeMix is the range-heavy transaction over an ordered table: Scans range
+// scans of Span consecutive keys starting at random offsets, followed by W
+// point updates. It has no counterpart in the paper — the paper's prototype
+// had only hash indexes — and exists to exercise the ordered-index access
+// path: visibility-filtered cursors, scan-set rescans (MV/O serializable),
+// range locks (MV/L serializable, 1V).
+type RangeMix struct {
+	Table *core.Table
+	Dist  Dist
+	N     uint64
+	Scans int
+	Span  uint64
+	W     int
+}
+
+// Run executes one transaction body: Scans range scans and W updates. It
+// returns the number of rows read.
+func (m RangeMix) Run(tx *core.Tx, rng *rand.Rand) (int, error) {
+	reads := 0
+	for i := 0; i < m.Scans; i++ {
+		lo := m.Dist.Next(rng)
+		hi := lo + m.Span - 1
+		if hi >= m.N {
+			hi = m.N - 1
+		}
+		err := tx.ScanRange(m.Table, 0, lo, hi, nil, func(r core.Row) bool {
+			reads++
+			return true
+		})
+		if err != nil {
+			return reads, err
+		}
+	}
+	for i := 0; i < m.W; i++ {
+		key := m.Dist.Next(rng)
+		newVal := rng.Uint64()
+		_, err := tx.UpdateWhere(m.Table, 0, key, nil, func(old []byte) []byte {
 			return Row(key, newVal)
 		})
 		if err != nil {
