@@ -111,6 +111,12 @@ type Stats struct {
 	// FastCommits counts commits that skipped the end-timestamp draw: the
 	// transaction wrote nothing, held no locks, and needed no validation.
 	FastCommits uint64
+	// IndexNodesSwept counts ordered-index skip-list nodes unlinked from
+	// their towers after their last version was garbage collected.
+	IndexNodesSwept uint64
+	// IndexNodesFreed counts swept nodes that passed quiescence and were
+	// reset into the node reuse pool.
+	IndexNodesFreed uint64
 }
 
 // Engine is a multiversion main-memory storage engine.
@@ -127,6 +133,16 @@ type Engine struct {
 	// transactions, and the deadlock detector's iteration epoch — so the GC
 	// watermark never passes them. See gc.ReaderPins for the protocol.
 	pins gc.ReaderPins
+
+	// nodeEpoch guards skip-list node reuse against the one class of readers
+	// the watermark cannot see: the garbage collector's own index traversals
+	// (Collect's unlinks run outside any transaction). Collectors pin it for
+	// the duration of a round; node freeing requires the watermark to pass
+	// the unlink stamp AND the epoch to be clear. Transactions need no pin —
+	// every cursor or bucket pointer they hold is covered by their begin
+	// timestamp (registered) or reader pin (fast lane), which bounds the
+	// watermark. See docs/indexes.md, "Node reclamation".
+	nodeEpoch gc.Epoch
 
 	tablesMu sync.RWMutex
 	tables   map[string]*storage.Table
@@ -152,6 +168,8 @@ type Engine struct {
 	roBegins     atomic.Uint64
 	pinOverflows atomic.Uint64
 	fastCommits  atomic.Uint64
+	nodesSwept   atomic.Uint64
+	nodesFreed   atomic.Uint64
 
 	commits          atomic.Uint64
 	aborts           atomic.Uint64
@@ -195,6 +213,7 @@ func NewEngine(cfg Config) *Engine {
 		tables: make(map[string]*storage.Table),
 	}
 	e.pins.Init(cfg.ReaderPinSlots)
+	e.nodeEpoch.Init(0)
 	e.gc = gc.NewCollector(func() uint64 {
 		// Load the clock FIRST, then sweep the table minima and the reader
 		// pins: gc.ReaderPins relies on this order to guarantee the
@@ -280,6 +299,8 @@ func (e *Engine) Stats() Stats {
 		ReadOnlyBegins:   e.roBegins.Load(),
 		PinOverflows:     e.pinOverflows.Load(),
 		FastCommits:      e.fastCommits.Load(),
+		IndexNodesSwept:  e.nodesSwept.Load(),
+		IndexNodesFreed:  e.nodesFreed.Load(),
 	}
 	if e.det != nil {
 		s.DeadlockVictims = e.det.Victims()
@@ -394,12 +415,83 @@ func (e *Engine) finishTx(tx *Tx) {
 	}
 }
 
-// collect runs one garbage collection round and then recycles any parked
-// transaction objects the new watermark has quiesced.
+// collect runs one garbage collection round, sweeps dead ordered-index
+// nodes, and then recycles parked transaction objects and quiesced nodes.
+// The round is epoch-pinned: Collect's index unlinks (and the sweep's
+// predecessor searches) traverse skip lists outside any transaction, so the
+// watermark cannot vouch for them — the pin keeps concurrent rounds from
+// resetting a node this round can still reach.
 func (e *Engine) collect(limit int) int {
+	slot := e.nodeEpoch.Enter()
 	n := e.gc.Collect(limit)
-	e.drainGraveyard(e.gc.Watermark())
+	e.sweepIndexNodes(limit)
+	e.nodeEpoch.Exit(slot)
+	wm := e.gc.Watermark()
+	e.drainGraveyard(wm)
+	e.freeIndexNodes(wm, limit)
 	return n
+}
+
+// forEachOrderedIndex invokes fn on every ordered index of every table.
+func (e *Engine) forEachOrderedIndex(fn func(ix *storage.OrderedIndex)) {
+	e.tablesMu.RLock()
+	defer e.tablesMu.RUnlock()
+	for _, t := range e.tables {
+		for ord := 0; ord < t.NumIndexes(); ord++ {
+			if oix, ok := t.Index(ord).(*storage.OrderedIndex); ok {
+				fn(oix)
+			}
+		}
+	}
+}
+
+// sweepIndexNodes unlinks marked skip-list nodes, stamping them with the
+// clock read after the unlinks: any transaction that can still reach a node
+// loaded its pointer before the unlink, so its begin timestamp was drawn
+// before the stamp and bounds the watermark below it until the transaction
+// finishes.
+func (e *Engine) sweepIndexNodes(limit int) {
+	e.forEachOrderedIndex(func(ix *storage.OrderedIndex) {
+		if n := ix.SweepNodes(e.oracle.Current, limit); n > 0 {
+			e.nodesSwept.Add(uint64(n))
+		}
+	})
+}
+
+// freeIndexNodes resets swept nodes into the reuse pool once (a) the
+// watermark passed their unlink stamp — no transaction that could hold the
+// node remains — and (b) the collector epoch is clear — no concurrent GC
+// round is mid-traversal. The epoch check runs per entry inside the
+// reclamation lock, ordering it after the unlink stores (see gc.Epoch).
+func (e *Engine) freeIndexNodes(wm uint64, limit int) {
+	if wm == 0 {
+		return // no GC round has published a watermark yet
+	}
+	e.forEachOrderedIndex(func(ix *storage.OrderedIndex) {
+		// The epoch check is evaluated lazily once per drain (Clear scans
+		// the whole pin table): the first call runs inside FreeDead under
+		// the reclamation lock, after the drain observed its entries, which
+		// is the ordering the safety argument needs — and it covers every
+		// entry of the same drain, since all their unlinks happen-before
+		// the queue read.
+		clear := -1
+		quiesced := func(stamp uint64) bool {
+			if stamp >= wm {
+				return false
+			}
+			if clear < 0 {
+				if e.nodeEpoch.Clear() {
+					clear = 1
+				} else {
+					clear = 0
+				}
+			}
+			return clear == 1
+		}
+		if n := ix.FreeNodes(quiesced, limit); n > 0 {
+			e.nodesFreed.Add(uint64(n))
+		}
+	})
 }
 
 // drainGraveyard moves parked transactions whose removal stamp is below the

@@ -373,18 +373,29 @@ func (tx *Tx) Insert(t *storage.Table, payload []byte) error {
 	}
 	tx.ensureRegistered()
 	v := tx.e.vpool.GetIn(t.Arena(), payload, t.NumIndexes(), field.FromTxID(tx.T.ID()), infinityWord)
+	t.Insert(v)
+	tx.writeSet = append(tx.writeSet, writeRec{t, nil, v, wal.OpInsert, v.Key(0)})
 	// Inserting under a serializable scan lock (bucket or range) is allowed,
 	// but then tx cannot precommit until the lock holders have completed
 	// (Section 4.2.2). This applies to optimistic transactions too: honoring
 	// scan locks is what lets the two schemes coexist (Section 4.5).
+	//
+	// The lock check runs AFTER the version is linked: a concurrent
+	// serializable scanner either finds our version (and delays us through
+	// phantomGuard) or completed its lock acquisition before our check and
+	// we find the lock here. Checking before linking leaves an interleaving
+	// — check, scanner locks and scans, link — in which neither side sees
+	// the other and the scanner's phantom protection silently fails. A
+	// failed check dooms the transaction (the version is already linked and
+	// staged, so committing anyway would apply a write the API reported as
+	// failed); abort postprocessing makes the linked version garbage.
 	for ord := 0; ord < t.NumIndexes(); ord++ {
 		ix := t.Index(ord)
-		if err := tx.insertDeps(ix, ix.Key(payload)); err != nil {
+		if err := tx.insertDeps(ix, v.Key(ix.Ord())); err != nil {
+			tx.T.RequestAbort()
 			return err
 		}
 	}
-	t.Insert(v)
-	tx.writeSet = append(tx.writeSet, writeRec{t, nil, v, wal.OpInsert, t.Index(0).Key(payload)})
 	return nil
 }
 
@@ -411,14 +422,19 @@ func (tx *Tx) Update(t *storage.Table, old *storage.Version, newPayload []byte) 
 		tx.T.AddWaitFor()
 	}
 	nv := tx.e.vpool.GetIn(t.Arena(), newPayload, t.NumIndexes(), field.FromTxID(tx.T.ID()), infinityWord)
+	t.Insert(nv)
+	tx.writeSet = append(tx.writeSet, writeRec{t, old, nv, wal.OpUpdate, nv.Key(0)})
+	// Scan-lock check after linking, for the same reason as Insert: the
+	// new version must be reachable before we decide no scanner needs a
+	// wait-for dependency from us. Failure dooms the transaction — the
+	// write is already staged.
 	for ord := 0; ord < t.NumIndexes(); ord++ {
 		ix := t.Index(ord)
-		if err := tx.insertDeps(ix, ix.Key(newPayload)); err != nil {
+		if err := tx.insertDeps(ix, nv.Key(ix.Ord())); err != nil {
+			tx.T.RequestAbort()
 			return err
 		}
 	}
-	t.Insert(nv)
-	tx.writeSet = append(tx.writeSet, writeRec{t, old, nv, wal.OpUpdate, t.Index(0).Key(newPayload)})
 	return nil
 }
 

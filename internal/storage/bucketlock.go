@@ -37,13 +37,16 @@ func (t *BucketLockTable) shard(b *Bucket) *lockListShard {
 }
 
 // Acquire adds txid to b's lock list and increments b's lock count. Multiple
-// transactions can hold a lock on the same bucket.
+// transactions can hold a lock on the same bucket. The count is incremented
+// before the holder entry is appended (same publication order as
+// RangeLockTable.Acquire): an inserter's LockCount()==0 fast path must never
+// observe the holder list populated while the counter still reads zero.
 func (t *BucketLockTable) Acquire(b *Bucket, txid uint64) {
 	s := t.shard(b)
 	s.mu.Lock()
+	b.IncLocks()
 	s.m[b] = append(s.m[b], txid)
 	s.mu.Unlock()
-	b.IncLocks()
 }
 
 // Release removes txid from b's lock list and decrements the lock count.
@@ -61,8 +64,8 @@ func (t *BucketLockTable) Release(b *Bucket, txid uint64) {
 			} else {
 				s.m[b] = list
 			}
-			s.mu.Unlock()
 			b.DecLocks()
+			s.mu.Unlock()
 			return
 		}
 	}

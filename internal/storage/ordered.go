@@ -17,11 +17,14 @@ package storage
 //     latch only — the steady-state update path.
 //   - Inserting the first version of a brand-new key additionally takes the
 //     skip list's insertion latch to link the new node.
-//   - Nodes are never removed: garbage collection unlinks versions from a
-//     node's chain but leaves the (empty) node in place, so a concurrent
-//     cursor can never step on freed memory. Version recycle safety is
-//     identical to the hash index: chains are atomic, and versions are only
-//     reused after the GC watermark proves quiescence.
+//   - Nodes are reclaimed when their key dies: when garbage collection
+//     unlinks the last version of a key, Unlink marks the node logically
+//     deleted (under the bucket latch, so a concurrent Link cannot be
+//     stranded); the engine's GC round sweeps marked nodes out of the tower
+//     levels and defers the reset-and-reuse until the watermark proves no
+//     transaction that could hold the node remains (docs/indexes.md,
+//     "Node reclamation"). A cursor parked on a swept node keeps walking:
+//     dead nodes retain their outgoing pointers until quiescence.
 //
 // Phantom protection cannot reuse bucket locks — a key never inserted has
 // no bucket to lock — so the index carries a RangeLockTable that
@@ -49,11 +52,14 @@ func (ix *OrderedIndex) Ordered() bool { return true }
 // Key extracts this index's key from a payload.
 func (ix *OrderedIndex) Key(payload []byte) uint64 { return ix.spec.Key(payload) }
 
-// Keys returns the number of distinct keys ever inserted (diagnostics).
+// Keys returns the number of live distinct keys (diagnostics). After
+// reclamation this tracks the live key population, not the cumulative
+// number of keys ever inserted.
 func (ix *OrderedIndex) Keys() int { return ix.list.Len() }
 
 // Lookup returns the bucket holding versions with exactly key, or nil when
-// the key has never been inserted.
+// the key has no node. A logically deleted node's (empty) bucket may be
+// returned; its chain is empty, which reads identically to an absent key.
 func (ix *OrderedIndex) Lookup(key uint64) *Bucket {
 	if n := ix.list.Get(key); n != nil {
 		return &n.V
@@ -62,21 +68,71 @@ func (ix *OrderedIndex) Lookup(key uint64) *Bucket {
 }
 
 // Link inserts v at the head of its key's chain, creating the skip-list
-// node on first insertion of the key.
+// node on first insertion of the key — or reviving a node the garbage
+// collector marked deleted but has not yet swept. If the node lost the race
+// with the sweeper (it is already unlinked), the insert retries and creates
+// a fresh node: versions are never linked into an unreachable chain.
 func (ix *OrderedIndex) Link(v *Version) {
-	n := ix.list.GetOrCreate(v.Key(ix.ord))
+	key := v.Key(ix.ord)
+	for {
+		n := ix.list.GetOrCreate(key)
+		b := &n.V
+		b.mu.Lock()
+		if !ix.list.Revive(n) {
+			b.mu.Unlock()
+			continue // node already swept; a fresh node is needed
+		}
+		v.setNext(ix.ord, b.head.Load())
+		b.head.Store(v)
+		b.mu.Unlock()
+		return
+	}
+}
+
+// Unlink removes v from its key's chain. When the chain drains, the node is
+// marked logically deleted (rechecked under the bucket latch, which
+// serializes against Link's revival) and queued for the sweeper.
+func (ix *OrderedIndex) Unlink(v *Version) {
+	n := ix.list.Get(v.Key(ix.ord))
+	if n == nil {
+		return
+	}
 	b := &n.V
+	if !b.unlink(v, ix.ord) {
+		return
+	}
 	b.mu.Lock()
-	v.setNext(ix.ord, b.head.Load())
-	b.head.Store(v)
+	if b.head.Load() == nil {
+		ix.list.MarkDeleted(n)
+	}
 	b.mu.Unlock()
 }
 
-// Unlink removes v from its key's chain; the node itself stays.
-func (ix *OrderedIndex) Unlink(v *Version) {
-	if n := ix.list.Get(v.Key(ix.ord)); n != nil {
-		n.V.unlink(v, ix.ord)
-	}
+// SweepNodes unlinks up to max marked (logically deleted) nodes from the
+// skip-list towers, stamping them with the caller's clock for deferred
+// freeing. stamp is drawn after the unlinks (see SkipList.SweepMarked for
+// why that ordering is load-bearing). The engine calls this from its GC
+// round.
+func (ix *OrderedIndex) SweepNodes(stamp func() uint64, max int) int {
+	return ix.list.SweepMarked(stamp, max)
+}
+
+// FreeNodes resets and pools dead nodes whose stamp quiesced approves (for
+// the multiversion engine: the GC watermark has passed the stamp and no
+// collector is mid-traversal). Pooled nodes are reused by Link for new keys.
+func (ix *OrderedIndex) FreeNodes(quiesced func(stamp uint64) bool, max int) int {
+	return ix.list.FreeDead(quiesced, func(b *Bucket) {
+		b.head.Store(nil)
+		b.lockCount.Store(0)
+	}, max)
+}
+
+// NodeStats reports reclamation diagnostics: nodes awaiting sweep, unlinked
+// nodes awaiting quiescence, pooled nodes, and cumulative allocation/reuse
+// counters.
+func (ix *OrderedIndex) NodeStats() (marked, dead, pooled int, created, reused, freed uint64) {
+	return ix.list.MarkedLen(), ix.list.DeadLen(), ix.list.PoolLen(),
+		ix.list.Created(), ix.list.Reused(), ix.list.Freed()
 }
 
 // ScanRange returns a cursor over the buckets with keys in [lo, hi]

@@ -35,11 +35,20 @@ type rangeLock struct {
 
 // Acquire records that txid holds a lock on [lo, hi]. Ranges are inclusive
 // on both ends.
+//
+// The active counter is incremented inside the critical section, before the
+// lock is appended: an inserter's Active()==0 fast path must never observe
+// the lock in the table while the counter still reads zero, or it would skip
+// the wait-for dependency on a scanner that has already finished acquiring —
+// a phantom window. With the increment first, an inserter that loads a zero
+// counter is guaranteed the scanner has not yet returned from Acquire, so
+// the scanner's subsequent scan runs after the inserter's (already linked)
+// version became reachable and sees it.
 func (t *RangeLockTable) Acquire(lo, hi uint64, txid uint64) {
 	t.mu.Lock()
+	t.active.Add(1)
 	t.locks = append(t.locks, rangeLock{lo, hi, txid})
 	t.mu.Unlock()
-	t.active.Add(1)
 }
 
 // Release removes one [lo, hi] lock held by txid. Releasing a lock that is
@@ -52,8 +61,8 @@ func (t *RangeLockTable) Release(lo, hi uint64, txid uint64) {
 			last := len(t.locks) - 1
 			t.locks[i] = t.locks[last]
 			t.locks = t.locks[:last]
-			t.mu.Unlock()
 			t.active.Add(-1)
+			t.mu.Unlock()
 			return
 		}
 	}

@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRangeLockActivePublication is the regression test for the Acquire
+// publication race: the active counter must change inside the critical
+// section, so any observer holding the mutex sees count and table in
+// agreement — an inserter that reads Active()==0 is then guaranteed no
+// fully-acquired lock exists, and one that reads Active()>0 finds the
+// holders under the mutex. (The old code incremented after Unlock, leaving
+// a window where the lock was in the table but invisible to the fast path.)
+func TestRangeLockActivePublication(t *testing.T) {
+	var rl RangeLockTable
+	var workers sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			for i := 0; i < 3000; i++ {
+				lo := uint64(i % 16)
+				rl.Acquire(lo, lo+4, uint64(w+1))
+				rl.AppendHolders(nil, lo+2)
+				rl.Release(lo, lo+4, uint64(w+1))
+			}
+		}(w)
+	}
+	// Checker: under the mutex, the counter and the table must agree.
+	checker := make(chan struct{})
+	go func() {
+		defer close(checker)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			rl.mu.Lock()
+			a, n := int(rl.active.Load()), len(rl.locks)
+			rl.mu.Unlock()
+			if a != n {
+				t.Errorf("active=%d but %d locks in table", a, n)
+				return
+			}
+		}
+	}()
+	workers.Wait()
+	close(done)
+	<-checker
+	if rl.Active() != 0 || len(rl.locks) != 0 {
+		t.Fatalf("end state: active=%d locks=%d", rl.Active(), len(rl.locks))
+	}
+}
+
+// TestBucketLockCountPublication: same invariant for the bucket-lock table —
+// LockCount changes inside the holder-list critical section.
+func TestBucketLockCountPublication(t *testing.T) {
+	blt := NewBucketLockTable()
+	var b Bucket
+	var workers sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			for i := 0; i < 3000; i++ {
+				blt.Acquire(&b, uint64(w+1))
+				blt.AppendHolders(nil, &b)
+				blt.Release(&b, uint64(w+1))
+			}
+		}(w)
+	}
+	checker := make(chan struct{})
+	go func() {
+		defer close(checker)
+		s := blt.shard(&b)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s.mu.Lock()
+			c, n := b.LockCount(), len(s.m[&b])
+			s.mu.Unlock()
+			if c != n {
+				t.Errorf("LockCount=%d but %d holders listed", c, n)
+				return
+			}
+		}
+	}()
+	workers.Wait()
+	close(done)
+	<-checker
+	if b.LockCount() != 0 {
+		t.Fatalf("end LockCount = %d", b.LockCount())
+	}
+}

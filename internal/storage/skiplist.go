@@ -9,22 +9,34 @@ import (
 // the expected O(log n) search cost.
 const skipMaxLevel = 24
 
+// Node lifecycle states. A node is born live, is marked deleted when the last
+// entry of its value drains (the chain latch holder verifies emptiness), is
+// swept to dead when the reclaimer unlinks it from every tower level, and is
+// finally reset and pooled once the owner's quiescence mechanism proves no
+// reader can still hold a pointer to it.
+const (
+	nodeLive uint32 = iota
+	nodeDeleted
+	nodeDead
+)
+
 // SkipNode is one key of a SkipList. The node embeds its value V by value so
 // a key's payload (a Bucket for the multiversion ordered index, a record
 // chain head for the single-version one) needs no extra allocation or
 // indirection.
 //
-// Nodes are immortal: once linked they are never removed, even when their
-// value empties out (e.g. every version of the key was garbage collected).
-// That keeps readers lock-free — a scan holding a node pointer can never
-// observe it being freed or recycled — at the cost of retaining one node per
-// distinct key ever inserted, which mirrors how the hash index retains its
-// bucket array.
+// Nodes are reclaimed in stages (see the state constants) so the index's
+// footprint tracks live keys rather than every key ever inserted. A dead
+// node keeps its tower pointers intact until it is freed: a reader parked on
+// it can always continue the traversal into the live list. The key and value
+// are rewritten only after the list's owner proves quiescence, so lock-free
+// readers never observe a node changing identity under them.
 type SkipNode[V any] struct {
 	key uint64
 	// V is the caller's per-key value, addressable via &n.V.
-	V    V
-	next []atomic.Pointer[SkipNode[V]]
+	V     V
+	state atomic.Uint32
+	next  []atomic.Pointer[SkipNode[V]]
 }
 
 // Key returns the node's index key.
@@ -33,25 +45,57 @@ func (n *SkipNode[V]) Key() uint64 { return n.key }
 // Next returns the node's level-0 successor (the next larger key), or nil.
 func (n *SkipNode[V]) Next() *SkipNode[V] { return n.next[0].Load() }
 
-// SkipList is a concurrent, insert-only skip list keyed by uint64. The zero
-// value is an empty list ready for use.
+// deadSkipNode is an unlinked node awaiting quiescence, stamped with the
+// owner-supplied epoch at sweep time.
+type deadSkipNode[V any] struct {
+	n     *SkipNode[V]
+	stamp uint64
+}
+
+// SkipList is a concurrent skip list keyed by uint64. The zero value is an
+// empty list ready for use.
 //
 // Readers (Get, Seek, Next traversal) are lock-free: they follow atomic
 // pointers only and never block, matching the latch-free reader discipline
 // of the hash index's bucket chains (Section 2.1). Node insertion is
-// serialized by a mutex — creation happens once per distinct key, so the
-// lock is off the steady-state update path, which only appends versions to
-// an existing node's chain.
+// serialized by a mutex — creation happens once per live key, so the lock is
+// off the steady-state update path, which only appends entries to an
+// existing node's value.
+//
+// Node reclamation (MarkDeleted / SweepMarked / FreeDead) lets the list
+// shrink when keys die: callers mark a node whose value drained, a periodic
+// sweep unlinks marked nodes from the towers under the insertion latch, and
+// quiesced dead nodes are reset and pooled for reuse by GetOrCreate. The
+// list is agnostic about what "quiesced" means — the multiversion engine
+// proves it with the GC watermark (no active transaction began before the
+// unlink), the single-version engine with an explicit reader epoch
+// (gc.Epoch). Both guarantee that no reader can still hold a pointer to a
+// node by the time it is reset.
 type SkipList[V any] struct {
 	// headNext is the sentinel tower: headNext[lvl] is the first node of
 	// level lvl.
 	headNext [skipMaxLevel]atomic.Pointer[SkipNode[V]]
-	mu       sync.Mutex
-	rng      uint64 // xorshift64 state, guarded by mu
-	n        atomic.Int64
+	// mu serializes structural changes: node insertion, tower unlink, and
+	// the reuse pool.
+	mu   sync.Mutex
+	rng  uint64 // xorshift64 state, guarded by mu
+	n    atomic.Int64
+	pool []*SkipNode[V] // quiesced nodes ready for reuse; guarded by mu
+
+	// reclaimMu guards the two reclamation queues. It nests inside mu (and
+	// inside the owner's chain latches) and is never held across node
+	// traversal.
+	reclaimMu sync.Mutex
+	marked    []*SkipNode[V]    // logically deleted, still linked
+	dead      []deadSkipNode[V] // unlinked, awaiting quiescence (stamps ascend)
+
+	created atomic.Uint64
+	reused  atomic.Uint64
+	freed   atomic.Uint64
 }
 
-// Len returns the number of distinct keys in the list.
+// Len returns the number of live keys in the list (logically deleted nodes
+// are not counted even while still physically linked).
 func (s *SkipList[V]) Len() int { return int(s.n.Load()) }
 
 // nextAt returns the level-lvl successor pointer of n, where nil n means the
@@ -83,7 +127,9 @@ func (s *SkipList[V]) findPred(key uint64, preds *[skipMaxLevel]*SkipNode[V]) *S
 	return cur
 }
 
-// Get returns the node with exactly key, or nil. Lock-free.
+// Get returns the node with exactly key, or nil. Lock-free. The node may be
+// logically deleted (empty value); callers that intend to repopulate it must
+// go through Revive.
 func (s *SkipList[V]) Get(key uint64) *SkipNode[V] {
 	pred := s.findPred(key, nil)
 	if n := s.nextAt(pred, 0).Load(); n != nil && n.key == key {
@@ -99,7 +145,11 @@ func (s *SkipList[V]) Seek(lo uint64) *SkipNode[V] {
 	return s.nextAt(pred, 0).Load()
 }
 
-// GetOrCreate returns the node with key, linking a new one if absent.
+// GetOrCreate returns the node with key, linking a new (or pooled) one if
+// absent. The returned node may be in the logically deleted state if a
+// concurrent reclaimer marked it; callers that add entries must Revive it
+// under their chain synchronization and retry on failure (the node was
+// already unlinked, and the retry will create a fresh one).
 func (s *SkipList[V]) GetOrCreate(key uint64) *SkipNode[V] {
 	if n := s.Get(key); n != nil {
 		return n
@@ -111,11 +161,25 @@ func (s *SkipList[V]) GetOrCreate(key uint64) *SkipNode[V] {
 	if n := s.nextAt(preds[0], 0).Load(); n != nil && n.key == key {
 		return n // lost the race to another creator
 	}
-	lvl := s.randomLevel()
-	n := &SkipNode[V]{key: key, next: make([]atomic.Pointer[SkipNode[V]], lvl)}
+	var n *SkipNode[V]
+	if k := len(s.pool); k > 0 {
+		// Reuse a quiesced node, keeping its tower height: heights were
+		// drawn from the same geometric distribution, so reuse preserves it.
+		n = s.pool[k-1]
+		s.pool[k-1] = nil
+		s.pool = s.pool[:k-1]
+		n.key = key
+		n.state.Store(nodeLive)
+		s.reused.Add(1)
+	} else {
+		lvl := s.randomLevel()
+		n = &SkipNode[V]{key: key, next: make([]atomic.Pointer[SkipNode[V]], lvl)}
+		s.created.Add(1)
+	}
 	// Point the new node at its successors before publishing it, then link
 	// bottom-up: a reader that finds the node at any level can always
 	// continue the descent through it.
+	lvl := len(n.next)
 	for i := 0; i < lvl; i++ {
 		n.next[i].Store(s.nextAt(preds[i], i).Load())
 	}
@@ -125,6 +189,196 @@ func (s *SkipList[V]) GetOrCreate(key uint64) *SkipNode[V] {
 	s.n.Add(1)
 	return n
 }
+
+// MarkDeleted moves a live node to the logically deleted state and queues it
+// for the sweeper. The caller must hold the synchronization that serializes
+// mutation of n.V (the chain latch for the multiversion index, the exclusive
+// key cover for the single-version one) and must have verified under it that
+// the value is empty — the state machine guarantees that a deleted node's
+// value stays empty until it is revived. Returns false if the node was not
+// live (already marked, or already dead).
+func (s *SkipList[V]) MarkDeleted(n *SkipNode[V]) bool {
+	if !n.state.CompareAndSwap(nodeLive, nodeDeleted) {
+		return false
+	}
+	s.n.Add(-1)
+	s.reclaimMu.Lock()
+	s.marked = append(s.marked, n)
+	s.reclaimMu.Unlock()
+	return true
+}
+
+// Revive returns a node to the live state so entries can be added to its
+// value again. It succeeds if the node is live or logically deleted; it
+// fails if the reclaimer already swept the node (dead), in which case the
+// caller must retry GetOrCreate — the key's node has left the list and a
+// fresh one is needed. The CAS arbitrates the race with SweepMarked: exactly
+// one of revival and sweep wins.
+func (s *SkipList[V]) Revive(n *SkipNode[V]) bool {
+	for {
+		switch n.state.Load() {
+		case nodeLive:
+			return true
+		case nodeDeleted:
+			if n.state.CompareAndSwap(nodeDeleted, nodeLive) {
+				s.n.Add(1)
+				return true
+			}
+		case nodeDead:
+			return false
+		}
+	}
+}
+
+// SweepMarked unlinks up to max logically deleted nodes from every tower
+// level (under the insertion latch, so structure changes stay serialized)
+// and stamps them for deferred freeing. Marked nodes that were revived in
+// the meantime are skipped.
+//
+// stamp is DRAWN AFTER THE UNLINKS — that ordering is load-bearing, exactly
+// as for the version free list (gc.Collector stamps after Table.Unlink): a
+// reader that can still hold a pointer to a swept node must have loaded that
+// pointer before the unlink, hence before the stamp was drawn, hence its own
+// begin timestamp / epoch pin is below the stamp and blocks quiescence. A
+// stamp drawn before the unlink would let a reader slip in between — born
+// after the stamp, traversing while the unlink happens — and be invisible to
+// the quiescence test. The draw happens under the insertion latch, so
+// concurrent sweeps enqueue in stamp order and the dead queue stays FIFO.
+//
+// A swept node keeps its outgoing tower pointers: a reader parked on it
+// mid-scan continues into nodes that were its successors at unlink time
+// (possibly other dead nodes, whose own pointers again lead back into the
+// live list). Such a reader may miss keys inserted after the unlink — the
+// same "concurrent inserts may or may not be observed" contract a live
+// cursor already has.
+func (s *SkipList[V]) SweepMarked(stamp func() uint64, max int) int {
+	if max <= 0 {
+		max = 1 << 30
+	}
+	s.reclaimMu.Lock()
+	k := len(s.marked)
+	s.reclaimMu.Unlock()
+	if k == 0 {
+		return 0
+	}
+	if k > max {
+		k = max
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reclaimMu.Lock()
+	if k > len(s.marked) {
+		k = len(s.marked)
+	}
+	batch := make([]*SkipNode[V], k)
+	copy(batch, s.marked[:k])
+	m := copy(s.marked, s.marked[k:])
+	clear(s.marked[m:])
+	s.marked = s.marked[:m]
+	s.reclaimMu.Unlock()
+
+	swept := batch[:0]
+	var preds [skipMaxLevel]*SkipNode[V]
+	for _, n := range batch {
+		if !n.state.CompareAndSwap(nodeDeleted, nodeDead) {
+			continue // revived; it re-queues if its value drains again
+		}
+		s.findPred(n.key, &preds)
+		for lvl := len(n.next) - 1; lvl >= 0; lvl-- {
+			p := s.nextAt(preds[lvl], lvl)
+			if p.Load() == n {
+				p.Store(n.next[lvl].Load())
+			}
+		}
+		swept = append(swept, n)
+	}
+	if len(swept) == 0 {
+		return 0
+	}
+	st := stamp() // after every unlink above; see the contract in the doc comment
+	s.reclaimMu.Lock()
+	for _, n := range swept {
+		s.dead = append(s.dead, deadSkipNode[V]{n, st})
+	}
+	s.reclaimMu.Unlock()
+	return len(swept)
+}
+
+// FreeDead resets and pools up to max dead nodes whose stamp the quiesced
+// predicate approves. quiesced is called under the reclamation lock, after
+// the sweep that produced the entry (so its loads are ordered after the
+// unlink stores): returning true asserts that no reader pinned or begun
+// before the stamp remains, hence no pointer to the node survives anywhere.
+// reset clears the node's embedded value; tower pointers and the key are
+// cleared here so pooled nodes retain no references into the list.
+func (s *SkipList[V]) FreeDead(quiesced func(stamp uint64) bool, reset func(*V), max int) int {
+	if max <= 0 {
+		max = 1 << 30
+	}
+	s.reclaimMu.Lock()
+	k := 0
+	for k < len(s.dead) && k < max && quiesced(s.dead[k].stamp) {
+		k++
+	}
+	if k == 0 {
+		s.reclaimMu.Unlock()
+		return 0
+	}
+	batch := make([]*SkipNode[V], k)
+	for i := 0; i < k; i++ {
+		batch[i] = s.dead[i].n
+	}
+	m := copy(s.dead, s.dead[k:])
+	clear(s.dead[m:])
+	s.dead = s.dead[:m]
+	s.reclaimMu.Unlock()
+
+	for _, n := range batch {
+		if reset != nil {
+			reset(&n.V)
+		}
+		for i := range n.next {
+			n.next[i].Store(nil)
+		}
+		n.key = 0
+	}
+	s.mu.Lock()
+	s.pool = append(s.pool, batch...)
+	s.mu.Unlock()
+	s.freed.Add(uint64(k))
+	return k
+}
+
+// MarkedLen returns the number of nodes awaiting sweep (diagnostics).
+func (s *SkipList[V]) MarkedLen() int {
+	s.reclaimMu.Lock()
+	defer s.reclaimMu.Unlock()
+	return len(s.marked)
+}
+
+// DeadLen returns the number of unlinked nodes awaiting quiescence.
+func (s *SkipList[V]) DeadLen() int {
+	s.reclaimMu.Lock()
+	defer s.reclaimMu.Unlock()
+	return len(s.dead)
+}
+
+// PoolLen returns the number of quiesced nodes ready for reuse.
+func (s *SkipList[V]) PoolLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pool)
+}
+
+// Created returns the cumulative count of nodes allocated from the heap.
+func (s *SkipList[V]) Created() uint64 { return s.created.Load() }
+
+// Reused returns the cumulative count of GetOrCreate calls served from the
+// reuse pool.
+func (s *SkipList[V]) Reused() uint64 { return s.reused.Load() }
+
+// Freed returns the cumulative count of nodes reset and pooled.
+func (s *SkipList[V]) Freed() uint64 { return s.freed.Load() }
 
 // randomLevel draws a tower height with P(level > k) = 2^-k; mu is held.
 func (s *SkipList[V]) randomLevel() int {

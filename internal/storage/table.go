@@ -77,10 +77,14 @@ type Index interface {
 }
 
 // RangeCursor iterates the buckets of an ordered index in ascending key
-// order. The cursor is valid for the life of the index; concurrent inserts
-// of new keys may or may not be observed, exactly like new versions
-// appearing in a hash bucket mid-scan — transactional consistency comes
-// from the layers above (visibility, validation, locks), not the cursor.
+// order. Concurrent inserts of new keys may or may not be observed, exactly
+// like new versions appearing in a hash bucket mid-scan — transactional
+// consistency comes from the layers above (visibility, validation, locks),
+// not the cursor. A cursor parked on a node the reclaimer has since swept
+// keeps walking through the node's retained tower pointers; the node itself
+// is not reset until the owning engine proves the cursor's holder has
+// finished (MV: the GC watermark; 1V: the reader epoch — see
+// docs/indexes.md, "Node reclamation").
 type RangeCursor struct {
 	node *SkipNode[Bucket]
 	hi   uint64
@@ -254,23 +258,27 @@ func (ix *HashIndex) Unlink(v *Version) {
 	ix.Bucket(v.Key(ix.ord)).unlink(v, ix.ord)
 }
 
-// unlink removes v from b's chain; shared by both index kinds.
-func (b *Bucket) unlink(v *Version, ord int) {
+// unlink removes v from b's chain; shared by both index kinds. It reports
+// whether the chain is empty after the operation — the ordered index uses
+// this to trigger node reclamation (a hash bucket is a fixed slot and
+// ignores it).
+func (b *Bucket) unlink(v *Version, ord int) (empty bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	cur := b.head.Load()
 	if cur == v {
 		b.head.Store(v.Next(ord))
-		return
+		return b.head.Load() == nil
 	}
 	for cur != nil {
 		next := cur.Next(ord)
 		if next == v {
 			cur.setNext(ord, v.Next(ord))
-			return
+			break
 		}
 		cur = next
 	}
+	return b.head.Load() == nil
 }
 
 // Bucket is one chain of versions: a hash bucket (all keys hashing there) or

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/gc"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -17,6 +18,12 @@ type Config struct {
 	// LockTimeout bounds lock waits; expiry aborts the transaction,
 	// breaking deadlocks (default 25ms).
 	LockTimeout time.Duration
+	// ReclaimEvery runs a cooperative ordered-index node reclamation round
+	// every N finished transactions (default 64). Negative disables
+	// cooperative reclamation (ReclaimNodes remains available).
+	ReclaimEvery int
+	// ReclaimQuota caps nodes swept/freed per cooperative round (default 256).
+	ReclaimQuota int
 }
 
 // Stats aggregates engine-wide counters.
@@ -30,6 +37,12 @@ type Stats struct {
 	// FastCommits counts commits that skipped the end-sequence draw because
 	// the transaction wrote nothing.
 	FastCommits uint64
+	// IndexNodesSwept counts ordered-index skip-list nodes unlinked after
+	// their record chain drained.
+	IndexNodesSwept uint64
+	// IndexNodesFreed counts swept nodes that passed epoch quiescence and
+	// were reset into the node reuse pool.
+	IndexNodesFreed uint64
 }
 
 // Engine is the single-version locking storage engine ("1V").
@@ -41,11 +54,20 @@ type Engine struct {
 	tablesMu sync.RWMutex
 	tables   map[string]*Table
 
+	// nodeEpoch is the reader epoch guarding ordered-index node reuse: the
+	// 1V engine has no timestamps, so every skip-list traversal (scans,
+	// link/unlink) pins it, and a swept node is reset only once every pin
+	// published at or before its unlink has exited. See gc.Epoch.
+	nodeEpoch    gc.Epoch
+	sinceReclaim atomic.Int64
+
 	commits     atomic.Uint64
 	aborts      atomic.Uint64
 	timeouts    atomic.Uint64
 	roBegins    atomic.Uint64
 	fastCommits atomic.Uint64
+	nodesSwept  atomic.Uint64
+	nodesFreed  atomic.Uint64
 }
 
 // NewEngine constructs a single-version engine.
@@ -53,7 +75,15 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.LockTimeout <= 0 {
 		cfg.LockTimeout = 25 * time.Millisecond
 	}
-	return &Engine{cfg: cfg, tables: make(map[string]*Table)}
+	if cfg.ReclaimEvery == 0 {
+		cfg.ReclaimEvery = 64
+	}
+	if cfg.ReclaimQuota <= 0 {
+		cfg.ReclaimQuota = 256
+	}
+	e := &Engine{cfg: cfg, tables: make(map[string]*Table)}
+	e.nodeEpoch.Init(0)
+	return e
 }
 
 // Close closes the attached log, if any.
@@ -67,11 +97,13 @@ func (e *Engine) Close() error {
 // Stats returns a snapshot of engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Commits:        e.commits.Load(),
-		Aborts:         e.aborts.Load(),
-		LockTimeouts:   e.timeouts.Load(),
-		ReadOnlyBegins: e.roBegins.Load(),
-		FastCommits:    e.fastCommits.Load(),
+		Commits:         e.commits.Load(),
+		Aborts:          e.aborts.Load(),
+		LockTimeouts:    e.timeouts.Load(),
+		ReadOnlyBegins:  e.roBegins.Load(),
+		FastCommits:     e.fastCommits.Load(),
+		IndexNodesSwept: e.nodesSwept.Load(),
+		IndexNodesFreed: e.nodesFreed.Load(),
 	}
 }
 
@@ -132,11 +164,20 @@ type bucket struct {
 // range-lock manager (S ranges for scans, X points for writes) rather than
 // per-bucket locks, because phantom protection for ranges must cover keys
 // that do not physically exist yet.
+//
+// Node lifecycle: unlink marks a node whose chain drained (the caller holds
+// the X point cover, which serializes against link for the same key); the
+// engine's cooperative reclaim round sweeps marked nodes and frees them
+// once the reader epoch quiesces. Every traversal of the list — scans and
+// link/unlink alike — pins the engine's nodeEpoch (ep), because record
+// chains and node keys are plain fields whose reuse must be ordered after
+// every reader that could reach the node.
 type orderedIndex struct {
 	ord  int
 	spec storage.IndexSpec
 	list storage.SkipList[recordChain]
 	rl   svRangeLocks
+	ep   *gc.Epoch
 }
 
 // recordChain is an ordered-index node value: the head of the key's record
@@ -198,26 +239,46 @@ func (ix *orderedIndex) ordinal() int          { return ix.ord }
 func (ix *orderedIndex) ordered() bool         { return true }
 func (ix *orderedIndex) keyOf(p []byte) uint64 { return ix.spec.Key(p) }
 
+// link adds r to its key's chain, reviving a marked node or — if the
+// sweeper already unlinked it — retrying with a fresh node. The caller
+// holds the X point cover for the key, which serializes chain mutation and
+// the emptiness check in unlink; the Revive CAS arbitrates only against the
+// asynchronous sweeper.
 func (ix *orderedIndex) link(r *Record) {
-	n := ix.list.GetOrCreate(r.keys[ix.ord])
-	r.next[ix.ord] = n.V.head
-	n.V.head = r
+	slot := ix.ep.Enter()
+	for {
+		n := ix.list.GetOrCreate(r.keys[ix.ord])
+		if !ix.list.Revive(n) {
+			continue // node already swept; a fresh node is needed
+		}
+		r.next[ix.ord] = n.V.head
+		n.V.head = r
+		break
+	}
+	ix.ep.Exit(slot)
 }
 
+// unlink removes r from its key's chain and marks the node for reclamation
+// when the chain drains. The caller holds the X point cover.
 func (ix *orderedIndex) unlink(r *Record, key uint64) {
+	slot := ix.ep.Enter()
+	defer ix.ep.Exit(slot)
 	n := ix.list.Get(key)
 	if n == nil {
 		return
 	}
 	if n.V.head == r {
 		n.V.head = r.next[ix.ord]
-		return
-	}
-	for cur := n.V.head; cur != nil; cur = cur.next[ix.ord] {
-		if cur.next[ix.ord] == r {
-			cur.next[ix.ord] = r.next[ix.ord]
-			return
+	} else {
+		for cur := n.V.head; cur != nil; cur = cur.next[ix.ord] {
+			if cur.next[ix.ord] == r {
+				cur.next[ix.ord] = r.next[ix.ord]
+				break
+			}
 		}
+	}
+	if n.V.head == nil {
+		ix.list.MarkDeleted(n)
 	}
 }
 
@@ -232,7 +293,7 @@ func (e *Engine) CreateTable(spec storage.TableSpec) (*Table, error) {
 			return nil, fmt.Errorf("sv: table %q index %q has no key function", spec.Name, is.Name)
 		}
 		if is.Ordered {
-			t.indexes = append(t.indexes, &orderedIndex{ord: ord, spec: is})
+			t.indexes = append(t.indexes, &orderedIndex{ord: ord, spec: is, ep: &e.nodeEpoch})
 			t.hashIxs = append(t.hashIxs, nil)
 			continue
 		}
@@ -261,6 +322,43 @@ func (e *Engine) Table(name string) (*Table, bool) {
 	defer e.tablesMu.RUnlock()
 	t, ok := e.tables[name]
 	return t, ok
+}
+
+// maybeReclaim runs a cooperative node reclamation round every
+// cfg.ReclaimEvery finished transactions.
+func (e *Engine) maybeReclaim() {
+	if e.cfg.ReclaimEvery > 0 && e.sinceReclaim.Add(1)%int64(e.cfg.ReclaimEvery) == 0 {
+		e.ReclaimNodes(e.cfg.ReclaimQuota)
+	}
+}
+
+// ReclaimNodes sweeps marked ordered-index nodes out of their skip lists
+// and frees swept nodes the reader epoch has quiesced, up to limit of each
+// per index. It returns the counts. Safe for concurrent use; normally driven
+// cooperatively from Commit/Abort.
+func (e *Engine) ReclaimNodes(limit int) (swept, freed int) {
+	e.tablesMu.RLock()
+	defer e.tablesMu.RUnlock()
+	for _, t := range e.tables {
+		for _, ix := range t.indexes {
+			oix, ok := ix.(*orderedIndex)
+			if !ok {
+				continue
+			}
+			if n := oix.list.SweepMarked(e.nodeEpoch.Stamp, limit); n > 0 {
+				swept += n
+			}
+			n := oix.list.FreeDead(e.nodeEpoch.Quiesced, func(c *recordChain) { c.head = nil }, limit)
+			freed += n
+		}
+	}
+	if swept > 0 {
+		e.nodesSwept.Add(uint64(swept))
+	}
+	if freed > 0 {
+		e.nodesFreed.Add(uint64(freed))
+	}
+	return swept, freed
 }
 
 // LoadRow inserts a record without locking. Single-threaded bulk load only.

@@ -87,19 +87,25 @@ func (m *svRangeLocks) acquire(lo, hi, txid uint64, excl bool, timeout time.Dura
 }
 
 // release drops one [lo, hi] entry held by txid and wakes waiters. Releasing
-// an entry that is not held is a no-op.
+// an entry that is not held is a no-op — including the broadcast: waiters
+// are only woken when an entry actually drained, since nothing they could be
+// waiting on has changed otherwise. (Unconditional broadcast caused spurious
+// wakeup storms at high MPL: every read-committed point scan's release
+// re-woke every waiter on the index.)
 func (m *svRangeLocks) release(lo, hi, txid uint64, excl bool) {
 	m.mu.Lock()
+	removed := false
 	for i := range m.entries {
 		e := m.entries[i]
 		if e.txid == txid && e.lo == lo && e.hi == hi && e.excl == excl {
 			last := len(m.entries) - 1
 			m.entries[i] = m.entries[last]
 			m.entries = m.entries[:last]
+			removed = true
 			break
 		}
 	}
-	if m.waitCh != nil {
+	if removed && m.waitCh != nil {
 		close(m.waitCh)
 		m.waitCh = nil
 	}

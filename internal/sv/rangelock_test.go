@@ -1,0 +1,67 @@
+package sv
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSVRangeLockReleaseNoSpuriousWakeup: releasing a range lock that is not
+// held must not broadcast to waiters — nothing they could be waiting on has
+// changed, and at high MPL the storm of spurious wakeups (every cursor-
+// stability release re-woke every waiter) is pure overhead.
+func TestSVRangeLockReleaseNoSpuriousWakeup(t *testing.T) {
+	var m svRangeLocks
+	if err := m.acquire(1, 1, 1, true, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second transaction blocks on the conflicting range and parks on
+	// waitCh.
+	acquired := make(chan error, 1)
+	go func() {
+		acquired <- m.acquire(1, 1, 2, true, 2*time.Second)
+	}()
+	var ch chan struct{}
+	for i := 0; i < 2000; i++ {
+		m.mu.Lock()
+		ch = m.waitCh
+		m.mu.Unlock()
+		if ch != nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ch == nil {
+		t.Fatal("waiter never parked")
+	}
+
+	// Releasing locks that are NOT held must leave the wait channel alone.
+	m.release(5, 5, 99, false) // wrong range, wrong owner
+	m.release(1, 1, 2, true)   // right range, non-holder
+	m.release(1, 1, 1, false)  // right owner, wrong mode
+	m.mu.Lock()
+	same := m.waitCh == ch
+	m.mu.Unlock()
+	if !same {
+		t.Fatal("release of an unheld lock broadcast to waiters")
+	}
+	select {
+	case <-ch:
+		t.Fatal("wait channel was closed by an unheld release")
+	case err := <-acquired:
+		t.Fatalf("waiter acquired the lock early: %v", err)
+	default:
+	}
+
+	// A real release drains the entry and wakes the waiter.
+	m.release(1, 1, 1, true)
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatalf("waiter failed after real release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter was not woken by the real release")
+	}
+	m.release(1, 1, 2, true)
+}

@@ -198,6 +198,10 @@ func (tx *Tx) Scan(t *Table, indexOrd int, key uint64, pred Pred, fn func(*Recor
 			return err
 		}
 	}
+	// Pin the reader epoch across the traversal so the node (and its chain)
+	// cannot be reset by the reclaimer while we hold pointers into it.
+	slot := ix.ep.Enter()
+	defer ix.ep.Exit(slot)
 	n := ix.list.Get(key)
 	if n == nil {
 		return nil
@@ -251,6 +255,11 @@ func (tx *Tx) ScanRange(t *Table, indexOrd int, lo, hi uint64, pred Pred, fn fun
 			return err
 		}
 	}
+	// Pin the reader epoch for the duration of the cursor walk: swept nodes
+	// keep their outgoing pointers until quiescence, so a cursor parked on
+	// one continues into the live list; the pin is what defers the reset.
+	slot := ix.ep.Enter()
+	defer ix.ep.Exit(slot)
 	for n := ix.list.Seek(lo); n != nil && n.Key() <= hi; n = n.Next() {
 		for r := n.V.head; r != nil; r = r.next[indexOrd] {
 			if r.deleted {
@@ -432,9 +441,11 @@ func (tx *Tx) collectMatches(t *Table, indexOrd int, key uint64, pred Pred) ([]*
 		if err := tx.lockRange(&ix.rl, key, key, false); err != nil {
 			return nil, err
 		}
+		slot := ix.ep.Enter()
 		if n := ix.list.Get(key); n != nil {
 			head = n.V.head
 		}
+		defer ix.ep.Exit(slot)
 	}
 	for r := head; r != nil; r = r.next[indexOrd] {
 		if r.deleted || r.keys[indexOrd] != key {
@@ -504,6 +515,7 @@ func (tx *Tx) Commit() error {
 		tx.done = true
 		tx.e.commits.Add(1)
 		tx.e.fastCommits.Add(1)
+		tx.e.maybeReclaim()
 		return nil
 	}
 	endTS := tx.e.endSeq.Add(1)
@@ -525,6 +537,7 @@ func (tx *Tx) Commit() error {
 	tx.releaseAll()
 	tx.done = true
 	tx.e.commits.Add(1)
+	tx.e.maybeReclaim()
 	return nil
 }
 
@@ -567,4 +580,5 @@ func (tx *Tx) rollback() {
 	tx.releaseAll()
 	tx.done = true
 	tx.e.aborts.Add(1)
+	tx.e.maybeReclaim()
 }
