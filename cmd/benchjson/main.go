@@ -275,6 +275,32 @@ func rangeHeavy(scheme core.Scheme) func(*testing.B) {
 	}
 }
 
+// secondaryHeavy exercises the non-unique composite secondary index: each
+// transaction prefix-scans 2 groups (~rows/groups rows each) through the
+// ordered (grp, id) secondary and applies 2 point updates through the hash
+// primary index, each migrating a row to a random group (secondary
+// unlink/link churn on duplicate-prefix chains).
+func secondaryHeavy(scheme core.Scheme) func(*testing.B) {
+	const groups = 512 // ~100 rows per group at rowsLarge
+	return func(b *testing.B) {
+		db, err := core.Open(core.Config{Scheme: scheme, LogSink: io.Discard, LockTimeout: 10 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		tbl, err := workload.SecondaryTable(db, rowsLarge, groups)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workload.Load(db, tbl, rowsLarge)
+		sm := workload.SecondaryMix{
+			Table: tbl, Dist: workload.Uniform{N: rowsLarge}, N: rowsLarge,
+			Groups: groups, Scans: 2, W: 2,
+		}
+		runMix(b, db, core.ReadCommitted, sm.Run)
+	}
+}
+
 // measureCounterDelta1V runs n read-only fast-lane transactions on a loaded
 // 1V database and returns how many shared-sequence increments (transaction
 // IDs + end timestamps) they performed in total — the fast lane's contract
@@ -455,12 +481,14 @@ func main() {
 			namedBench{"ReadMostly/" + s.name + "/Registered", readMostly(s.scheme, false)},
 			namedBench{"ReadMostly/" + s.name + "/FastLane", readMostly(s.scheme, true)},
 			namedBench{"Range/" + s.name, rangeHeavy(s.scheme)},
+			namedBench{"Secondary/" + s.name, secondaryHeavy(s.scheme)},
 		)
 	}
 	benches = append(benches,
 		namedBench{"LargeRow/MVO", largeRow(core.MVOptimistic)},
 		namedBench{"TATPBatch/MVO", tatpBatch(core.MVOptimistic)},
 		namedBench{"Range/1V", rangeHeavy(core.SingleVersion)},
+		namedBench{"Secondary/1V", secondaryHeavy(core.SingleVersion)},
 	)
 
 	file := File{

@@ -9,6 +9,15 @@
 // exactly that value for the key when every transaction with a smaller end
 // timestamp has been applied.
 //
+// Range scans are validated the same way: a recorded RangeRead carries the
+// scanned index, the bounds [lo, hi] and the observed index-key set, and
+// replay checks that set against the rows the model holds in the range at
+// the transaction's serialization point. A committed serializable scan
+// that missed a row the model holds — or observed one it does not — is a
+// detected phantom (RangeViolation). Secondary-index scans are supported
+// through ValidateIndexed, which takes per-index functions deriving a
+// row's index key from its primary key and value.
+//
 // Integration tests run randomized concurrent workloads under serializable
 // isolation on all three engines and feed the committed histories through
 // Validate.
@@ -47,6 +56,24 @@ type Write struct {
 	Value uint64
 }
 
+// RangeRead is one recorded range-scan read: over index Index of Table,
+// the transaction observed exactly the index keys Keys (one entry per row
+// returned, so a non-unique index may repeat a key) within [Lo, Hi]. The
+// checker validates the observed key set against the rows the model holds
+// in the range at the transaction's serialization point — a committed
+// serializable scan that missed a row the model holds, or saw one it does
+// not, is a detected phantom.
+type RangeRead struct {
+	Table string
+	// Index names the scanned index's key space; "" is the primary key
+	// space (index key = row key). Other names resolve through the
+	// Indexers passed to ValidateIndexed.
+	Index  string
+	Lo, Hi uint64
+	// Keys holds the index key of every row the scan returned.
+	Keys []uint64
+}
+
 // Txn is the recorded footprint of one committed transaction.
 type Txn struct {
 	// EndTS is the commit (end) timestamp; it determines the serialization
@@ -54,6 +81,9 @@ type Txn struct {
 	EndTS  uint64
 	Reads  []Read
 	Writes []Write
+	// RangeReads are the transaction's recorded range scans. Like Reads,
+	// scans observing the transaction's own writes should not be recorded.
+	RangeReads []RangeRead
 }
 
 type modelKey struct {
@@ -77,10 +107,46 @@ func (v *Violation) Error() string {
 		v.EndTS, v.Read.Table, v.Read.Key, v.Read.Value, v.Read.Found, v.GotValue, v.GotFound)
 }
 
+// RangeViolation describes a serializability failure of a range scan: at
+// the scan's serialization point the model's key set over [Lo, Hi]
+// disagrees with what the scan observed.
+type RangeViolation struct {
+	EndTS uint64
+	Scan  RangeRead
+	// Missing are index keys the model holds in the range but the scan did
+	// not observe (a missed row — e.g. an insert the scan should have
+	// seen). Extra are keys the scan observed but the model does not hold
+	// (a phantom — e.g. an uncommitted or later insert leaking in). Both
+	// are multisets: a key appears once per unmatched row.
+	Missing []uint64
+	Extra   []uint64
+}
+
+// Error implements error.
+func (v *RangeViolation) Error() string {
+	return fmt.Sprintf("check: txn@%d range scan %s/%s[%d,%d] missing=%v extra=%v",
+		v.EndTS, v.Scan.Table, v.Scan.Index, v.Scan.Lo, v.Scan.Hi, v.Missing, v.Extra)
+}
+
+// IndexKeyFn derives a row's key in a secondary index from its primary key
+// and value; ok=false excludes the row from that index (partial indexes).
+type IndexKeyFn func(key, value uint64) (ikey uint64, ok bool)
+
 // Validate replays txns in end-timestamp order over the initial state and
 // verifies that every read matches the model. It returns the first violation
-// found, or nil if the history is serializable in commit order.
+// found, or nil if the history is serializable in commit order. Range scans
+// over the primary key space (RangeRead.Index == "") are validated too;
+// histories with secondary-index scans need ValidateIndexed.
 func Validate(initial map[uint64]uint64, initialTable string, txns []Txn) error {
+	return ValidateIndexed(initial, initialTable, txns, nil)
+}
+
+// ValidateIndexed is Validate for histories whose range scans cover
+// secondary index key spaces: indexers maps each RangeRead.Index name to
+// the function deriving a live row's key in that index. The primary key
+// space "" is always available (index key = row key) and need not be
+// passed.
+func ValidateIndexed(initial map[uint64]uint64, initialTable string, txns []Txn, indexers map[string]IndexKeyFn) error {
 	model := make(map[modelKey]uint64, len(initial))
 	for k, v := range initial {
 		model[modelKey{initialTable, k}] = v
@@ -101,6 +167,11 @@ func Validate(initial map[uint64]uint64, initialTable string, txns []Txn) error 
 				return v
 			}
 		}
+		for i := range t.RangeReads {
+			if err := checkRangeRead(model, t.EndTS, &t.RangeReads[i], indexers); err != nil {
+				return err
+			}
+		}
 		for _, w := range t.Writes {
 			mk := modelKey{w.Table, w.Key}
 			if w.Op == WriteDelete {
@@ -109,6 +180,64 @@ func Validate(initial map[uint64]uint64, initialTable string, txns []Txn) error 
 				model[mk] = w.Value
 			}
 		}
+	}
+	return nil
+}
+
+// checkRangeRead compares one recorded scan's observed key multiset against
+// the model's rows in the range at this serialization point.
+//
+// Complexity: O(model size) per recorded scan — the expected multiset is
+// rebuilt by walking every model row, because a secondary index key is a
+// function of (key, value) and value changes on every replayed write. Fine
+// for the randomized test histories (tens of keys, thousands of
+// transactions); a long-running soak over large models would want
+// incrementally-maintained per-index sorted multisets updated as writes
+// replay.
+func checkRangeRead(model map[modelKey]uint64, endTS uint64, rr *RangeRead, indexers map[string]IndexKeyFn) error {
+	ikeyOf := func(key, value uint64) (uint64, bool) { return key, true }
+	if rr.Index != "" {
+		fn, ok := indexers[rr.Index]
+		if !ok {
+			return fmt.Errorf("check: txn@%d scanned unknown index %q of table %q (pass an indexer to ValidateIndexed)",
+				endTS, rr.Index, rr.Table)
+		}
+		ikeyOf = fn
+	}
+	var expect []uint64
+	for mk, val := range model {
+		if mk.table != rr.Table {
+			continue
+		}
+		ik, ok := ikeyOf(mk.key, val)
+		if !ok || ik < rr.Lo || ik > rr.Hi {
+			continue
+		}
+		expect = append(expect, ik)
+	}
+	got := append([]uint64(nil), rr.Keys...)
+	sort.Slice(expect, func(i, j int) bool { return expect[i] < expect[j] })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	// Multiset difference over the two sorted slices.
+	var missing, extra []uint64
+	i, j := 0, 0
+	for i < len(expect) && j < len(got) {
+		switch {
+		case expect[i] == got[j]:
+			i++
+			j++
+		case expect[i] < got[j]:
+			missing = append(missing, expect[i])
+			i++
+		default:
+			extra = append(extra, got[j])
+			j++
+		}
+	}
+	missing = append(missing, expect[i:]...)
+	extra = append(extra, got[j:]...)
+	if len(missing) > 0 || len(extra) > 0 {
+		return &RangeViolation{EndTS: endTS, Scan: *rr, Missing: missing, Extra: extra}
 	}
 	return nil
 }

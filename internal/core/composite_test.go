@@ -1,0 +1,289 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/keyenc"
+)
+
+// The composite test schema: rows carry (id, grp, val); the primary index
+// hashes the id, the secondary ordered index keys on the order-preserving
+// composite (grp, id) — non-unique in its grp prefix, unique as a tuple.
+var grpLayout = keyenc.MustLayout(keyenc.Field{Name: "grp", Bits: 16}, keyenc.Field{Name: "id", Bits: 48})
+
+func compRow(id, grp, val uint64) []byte {
+	p := make([]byte, 24)
+	binary.LittleEndian.PutUint64(p, id)
+	binary.LittleEndian.PutUint64(p[8:], grp)
+	binary.LittleEndian.PutUint64(p[16:], val)
+	return p
+}
+
+func compID(p []byte) uint64  { return binary.LittleEndian.Uint64(p) }
+func compGrp(p []byte) uint64 { return binary.LittleEndian.Uint64(p[8:]) }
+func compVal(p []byte) uint64 { return binary.LittleEndian.Uint64(p[16:]) }
+
+func compKey(p []byte) uint64 { return grpLayout.MustEncode(compGrp(p), compID(p)) }
+
+func openComposite(t *testing.T, scheme Scheme, timeout time.Duration) (*Database, *Table) {
+	t.Helper()
+	db, err := Open(Config{Scheme: scheme, LockTimeout: timeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable(TableSpec{
+		Name: "events",
+		Indexes: []IndexSpec{
+			{Name: "id", Key: compID, Buckets: 1 << 10},
+			{Name: "grp", Key: compKey, Ordered: true, Composite: grpLayout},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, tbl
+}
+
+// TestScanPrefixBasic: prefix scans return exactly the rows of the group,
+// in composite key order, on every engine; full-tuple and empty prefixes
+// behave as point and full scans.
+func TestScanPrefixBasic(t *testing.T) {
+	for _, scheme := range allSchemes {
+		t.Run(scheme.String(), func(t *testing.T) {
+			db, tbl := openComposite(t, scheme, time.Second)
+			// Three groups with interleaved ids.
+			for id := uint64(0); id < 30; id++ {
+				db.LoadRow(tbl, compRow(id, id%3, id*10))
+			}
+			tx := db.Begin()
+			var ids []uint64
+			err := tx.ScanPrefix(tbl, 1, []uint64{1}, nil, func(r Row) bool {
+				if compGrp(r.Payload()) != 1 {
+					t.Fatalf("group %d leaked into prefix-1 scan", compGrp(r.Payload()))
+				}
+				ids = append(ids, compID(r.Payload()))
+				return true
+			})
+			if err != nil {
+				t.Fatalf("ScanPrefix: %v", err)
+			}
+			if len(ids) != 10 {
+				t.Fatalf("prefix scan returned %d rows: %v", len(ids), ids)
+			}
+			for i := 1; i < len(ids); i++ {
+				if ids[i] <= ids[i-1] {
+					t.Fatalf("ids out of order: %v", ids)
+				}
+			}
+			// Full-tuple prefix pins one row.
+			rows, err := tx.LookupPrefix(tbl, 1, []uint64{2, 5}, nil)
+			if err != nil || len(rows) != 1 || compID(rows[0]) != 5 {
+				t.Fatalf("full-tuple prefix: rows=%d err=%v", len(rows), err)
+			}
+			// Empty prefix scans the whole index.
+			rows, err = tx.LookupPrefix(tbl, 1, nil, nil)
+			if err != nil || len(rows) != 30 {
+				t.Fatalf("empty prefix: rows=%d err=%v", len(rows), err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestScanPrefixGating: ScanPrefix demands a Composite layout; unordered
+// composite indexes surface ErrUnordered from the range machinery; field
+// overflow surfaces the keyenc error.
+func TestScanPrefixGating(t *testing.T) {
+	for _, scheme := range allSchemes {
+		db, err := Open(Config{Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := db.CreateTable(TableSpec{
+			Name: "events",
+			Indexes: []IndexSpec{
+				{Name: "id", Key: compID, Buckets: 64},
+				// A composite HASH index: exact-tuple lookups work, prefix
+				// scans cannot.
+				{Name: "grp", Key: compKey, Buckets: 64, Composite: grpLayout},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.LoadRow(tbl, compRow(7, 3, 70))
+		tx := db.Begin()
+		// No layout on index 0.
+		err = tx.ScanPrefix(tbl, 0, []uint64{1}, nil, func(Row) bool { return true })
+		if !errors.Is(err, ErrNotComposite) {
+			t.Fatalf("%v: ScanPrefix on plain index = %v, want ErrNotComposite", scheme, err)
+		}
+		// Layout but unordered.
+		err = tx.ScanPrefix(tbl, 1, []uint64{3}, nil, func(Row) bool { return true })
+		if !errors.Is(err, ErrUnordered) {
+			t.Fatalf("%v: ScanPrefix on hash index = %v, want ErrUnordered", scheme, err)
+		}
+		// Field overflow.
+		err = tx.ScanPrefix(tbl, 1, []uint64{1 << 20}, nil, func(Row) bool { return true })
+		if !errors.Is(err, keyenc.ErrOverflow) {
+			t.Fatalf("%v: overflowing prefix = %v, want keyenc.ErrOverflow", scheme, err)
+		}
+		// Exact-tuple point lookup through the composite hash index works.
+		row, ok, err := tx.Lookup(tbl, 1, grpLayout.MustEncode(3, 7), nil)
+		if err != nil || !ok || compVal(row.Payload()) != 70 {
+			t.Fatalf("%v: composite hash lookup ok=%v err=%v", scheme, ok, err)
+		}
+		tx.Abort()
+		db.Close()
+	}
+}
+
+func prefixIDs(t *testing.T, tx *Tx, tbl *Table, grp uint64) []uint64 {
+	t.Helper()
+	var ids []uint64
+	err := tx.ScanPrefix(tbl, 1, []uint64{grp}, nil, func(r Row) bool {
+		ids = append(ids, compID(r.Payload()))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("ScanPrefix: %v", err)
+	}
+	return ids
+}
+
+// TestCompositePrefixPhantomMVO: a serializable optimistic prefix scan is
+// revalidated at commit; a concurrent insert into the scanned group aborts
+// the scanner (the rescan finds the phantom).
+func TestCompositePrefixPhantomMVO(t *testing.T) {
+	db, tbl := openComposite(t, MVOptimistic, time.Second)
+	for id := uint64(0); id < 10; id++ {
+		db.LoadRow(tbl, compRow(id, id%2, 0))
+	}
+	t1 := db.Begin(WithIsolation(Serializable))
+	if ids := prefixIDs(t, t1, tbl, 1); len(ids) != 5 {
+		t.Fatalf("initial scan: %v", ids)
+	}
+	t2 := db.Begin()
+	if err := t2.Insert(tbl, compRow(100, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err == nil {
+		t.Fatal("MV/O scanner committed over a phantom insert into its scanned prefix")
+	}
+	// A group the scan did not cover does not abort the scanner.
+	t3 := db.Begin(WithIsolation(Serializable))
+	prefixIDs(t, t3, tbl, 1)
+	t4 := db.Begin()
+	if err := t4.Insert(tbl, compRow(101, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := t4.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Commit(); err != nil {
+		t.Fatalf("MV/O scanner aborted by an insert outside its prefix: %v", err)
+	}
+}
+
+// TestCompositePrefixPhantomMVL: a serializable pessimistic prefix scan
+// range-locks the encoded prefix interval; a concurrent inserter into the
+// group takes a wait-for dependency and its commit blocks until the
+// scanner completes.
+func TestCompositePrefixPhantomMVL(t *testing.T) {
+	db, tbl := openComposite(t, MVPessimistic, time.Second)
+	for id := uint64(0); id < 10; id++ {
+		db.LoadRow(tbl, compRow(id, id%2, 0))
+	}
+	t1 := db.Begin(WithIsolation(Serializable))
+	if ids := prefixIDs(t, t1, tbl, 1); len(ids) != 5 {
+		t.Fatalf("initial scan: %v", ids)
+	}
+	committed := make(chan error, 1)
+	go func() {
+		t2 := db.Begin()
+		if err := t2.Insert(tbl, compRow(100, 1, 1)); err != nil {
+			t2.Abort()
+			committed <- err
+			return
+		}
+		committed <- t2.Commit()
+	}()
+	select {
+	case err := <-committed:
+		t.Fatalf("inserter committed (%v) while the prefix scan lock was held", err)
+	case <-time.After(50 * time.Millisecond):
+		// Still blocked: phantom delayed, as Section 4.2.2 requires.
+	}
+	// The scanner rereads a stable group, then commits and releases the
+	// inserter.
+	if ids := prefixIDs(t, t1, tbl, 1); len(ids) != 5 {
+		t.Fatalf("scan became unstable: %v", ids)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("scanner commit: %v", err)
+	}
+	select {
+	case err := <-committed:
+		if err != nil {
+			t.Fatalf("inserter failed after scanner committed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("inserter never unblocked")
+	}
+}
+
+// TestCompositePrefixPhantom1V: the 1V scan holds a shared range lock over
+// the encoded prefix interval to commit; the inserter's X point lock blocks
+// inside Insert until the scanner releases.
+func TestCompositePrefixPhantom1V(t *testing.T) {
+	db, tbl := openComposite(t, SingleVersion, 5*time.Second)
+	for id := uint64(0); id < 10; id++ {
+		db.LoadRow(tbl, compRow(id, id%2, 0))
+	}
+	t1 := db.Begin(WithIsolation(Serializable))
+	if ids := prefixIDs(t, t1, tbl, 1); len(ids) != 5 {
+		t.Fatalf("initial scan: %v", ids)
+	}
+	inserted := make(chan error, 1)
+	go func() {
+		t2 := db.Begin()
+		if err := t2.Insert(tbl, compRow(100, 1, 1)); err != nil {
+			t2.Abort()
+			inserted <- err
+			return
+		}
+		inserted <- t2.Commit()
+	}()
+	select {
+	case err := <-inserted:
+		t.Fatalf("inserter finished (%v) while the S range lock was held", err)
+	case <-time.After(50 * time.Millisecond):
+		// Blocked on the X point lock, as intended.
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("scanner commit: %v", err)
+	}
+	select {
+	case err := <-inserted:
+		if err != nil {
+			t.Fatalf("inserter failed after scanner released: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("inserter never unblocked")
+	}
+	// Final state: the group gained the row.
+	t3 := db.Begin()
+	if ids := prefixIDs(t, t3, tbl, 1); len(ids) != 6 {
+		t.Fatalf("final group: %v", ids)
+	}
+	t3.Commit()
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/iso"
+	"repro/internal/keyenc"
 	"repro/internal/mv"
 	"repro/internal/storage"
 	"repro/internal/sv"
@@ -122,10 +123,18 @@ type Table struct {
 	name string
 	mvT  *storage.Table
 	svT  *sv.Table
+	// layouts[i] is index i's composite key layout (nil for plain uint64
+	// keys), cached from the IndexSpec so ScanPrefix can turn field
+	// prefixes into encoded key ranges without touching the engine.
+	layouts []*keyenc.Layout
 }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
+
+// Layout returns index i's composite key layout, or nil when the index
+// keys on a plain uint64.
+func (t *Table) Layout(i int) *keyenc.Layout { return t.layouts[i] }
 
 // Open creates a database.
 func Open(cfg Config) (*Database, error) {
@@ -165,7 +174,10 @@ func (db *Database) Close() error {
 
 // CreateTable registers a table.
 func (db *Database) CreateTable(spec TableSpec) (*Table, error) {
-	t := &Table{name: spec.Name}
+	t := &Table{name: spec.Name, layouts: make([]*keyenc.Layout, len(spec.Indexes))}
+	for i, is := range spec.Indexes {
+		t.layouts[i] = is.Composite
+	}
 	var err error
 	if db.mvEng != nil {
 		t.mvT, err = db.mvEng.CreateTable(spec)
@@ -309,6 +321,10 @@ var ErrUnsupported = errors.New("core: operation unsupported by engine")
 // not declared Ordered in its IndexSpec.
 var ErrUnordered = storage.ErrUnordered
 
+// ErrNotComposite is returned when ScanPrefix is called on an index whose
+// IndexSpec declared no Composite key layout.
+var ErrNotComposite = errors.New("core: index has no composite key layout")
+
 // ErrReadOnlyTx is returned when a mutation is attempted through a
 // read-only transaction.
 var ErrReadOnlyTx = mv.ErrReadOnlyTx
@@ -429,6 +445,47 @@ func (tx *Tx) ScanRange(t *Table, index int, lo, hi uint64, pred Pred, fn func(R
 	})
 }
 
+// ScanPrefix iterates visible rows whose composite key in the named index
+// starts with the given field prefix, in ascending key order. The index
+// must carry a Composite layout in its IndexSpec (ErrNotComposite) and be
+// Ordered (ErrUnordered); prefix may name any leading subset of the
+// layout's fields, down to none (full index scan) and up to all of them
+// (exact tuple). The prefix is translated into the encoded key interval
+// [lo, hi] covering exactly the matching tuples and delegated to ScanRange,
+// so a prefix scan carries the same isolation semantics — under
+// serializable isolation, a concurrent insert of a row with the scanned
+// prefix is aborted against (MV/O), delayed (MV/L) or blocked (1V), making
+// composite prefix scans phantom safe on every engine.
+func (tx *Tx) ScanPrefix(t *Table, index int, prefix []uint64, pred Pred, fn func(Row) bool) error {
+	if tx.mvTx == nil && tx.svTx == nil {
+		return ErrTxDone
+	}
+	layout := t.layouts[index]
+	if layout == nil {
+		return ErrNotComposite
+	}
+	lo, hi, err := layout.PrefixRange(prefix...)
+	if err != nil {
+		return err
+	}
+	return tx.ScanRange(t, index, lo, hi, pred, fn)
+}
+
+// LookupPrefix returns a copy of every visible row whose composite key in
+// the named index starts with prefix, in ascending key order. Convenience
+// wrapper over ScanPrefix for small result sets.
+func (tx *Tx) LookupPrefix(t *Table, index int, prefix []uint64, pred Pred) ([][]byte, error) {
+	var out [][]byte
+	err := tx.ScanPrefix(t, index, prefix, pred, func(r Row) bool {
+		out = append(out, append([]byte(nil), r.payload...))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // LookupRange returns a copy of every visible row in [lo, hi] of the named
 // ordered index, in ascending key order. Convenience wrapper over ScanRange
 // for small result sets.
@@ -536,17 +593,30 @@ func (tx *Tx) DeleteWhere(t *Table, index int, key uint64, pred Pred) (int, erro
 // dependency cascade, deadlock victim); the caller may retry with a fresh
 // transaction. The handle must not be used after Commit returns.
 func (tx *Tx) Commit() error {
+	_, err := tx.CommitTS()
+	return err
+}
+
+// CommitTS commits like Commit and additionally returns the transaction's
+// serialization stamp: the multiversion end timestamp, or the 1V writer's
+// end sequence number. A zero stamp with a nil error means the commit point
+// is unordered (an MV fast commit, or a 1V transaction that wrote nothing);
+// history checkers stamp those externally. The stamp is captured inside the
+// engine's commit — engine transaction objects are pooled, so reading a
+// timestamp off the engine transaction after Commit returns would race with
+// recycling.
+func (tx *Tx) CommitTS() (uint64, error) {
 	if tx.mvTx != nil {
-		err := tx.mvTx.Commit()
+		end, err := tx.mvTx.CommitTS()
 		tx.release()
-		return err
+		return end, err
 	}
 	if tx.svTx == nil {
-		return ErrTxDone
+		return 0, ErrTxDone
 	}
-	err := tx.svTx.Commit()
+	end, err := tx.svTx.CommitTS()
 	tx.release()
-	return err
+	return end, err
 }
 
 // TxBatch is a facade over mv.TxBatch: a single-worker transaction stream

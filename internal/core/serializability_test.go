@@ -30,7 +30,10 @@ import (
 //     commute in the model.
 //
 // To avoid relying on the subtle MV argument, the MV runs stamp with the
-// engine's own end timestamp, which is exact.
+// engine's own end timestamp, which is exact. The timestamp is taken from
+// Tx.CommitTS — reading it off the engine transaction after Commit returns
+// is racy, because engine transaction objects are pooled and can be
+// recycled (and restamped) by another worker's Begin before the read.
 
 func runRandomSerializableWorkload(t *testing.T, scheme Scheme, seed int64) {
 	t.Helper()
@@ -138,11 +141,11 @@ func runRandomSerializableWorkload(t *testing.T, scheme Scheme, seed int64) {
 					commitSeq.Unlock()
 					rec.Record(h)
 				} else {
-					mvTx := tx.mvTx
-					if err := tx.Commit(); err != nil {
+					end, err := tx.CommitTS()
+					if err != nil {
 						continue
 					}
-					h.EndTS = mvTx.T.End()
+					h.EndTS = end
 					rec.Record(h)
 				}
 			}
@@ -217,11 +220,11 @@ func TestSerializabilityMixedSchemes(t *testing.T) {
 					}
 					h.Writes = append(h.Writes, check.Write{Table: "t", Key: k, Value: nv})
 				}
-				mvTx := tx.mvTx
-				if err := tx.Commit(); err != nil {
+				end, err := tx.CommitTS()
+				if err != nil {
 					continue
 				}
-				h.EndTS = mvTx.T.End()
+				h.EndTS = end
 				rec.Record(h)
 			}
 		}(w)

@@ -1,0 +1,53 @@
+package keyenc
+
+import "testing"
+
+// fuzzLayout mirrors the workload's secondary-index shape: a group field
+// over a wide id field, with spare high bits left unused.
+var fuzzLayout = MustLayout(Field{"grp", 10}, Field{"id", 40})
+
+// FuzzEncodeOrder fuzzes the core ordering contract on pairs of tuples:
+// Encode round-trips, order is preserved in both directions, and prefix
+// ranges contain exactly the keys whose tuples carry the prefix.
+func FuzzEncodeOrder(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(2), uint64(1), uint64(3))
+	f.Add(uint64(5), uint64(0), uint64(5), ^uint64(0))
+	f.Add(uint64(1023), uint64(1)<<40-1, uint64(1023), uint64(0))
+	f.Add(uint64(511), uint64(12345), uint64(512), uint64(12345))
+	f.Fuzz(func(t *testing.T, ga, ia, gb, ib uint64) {
+		ga &= fuzzLayout.FieldMax(0)
+		ia &= fuzzLayout.FieldMax(1)
+		gb &= fuzzLayout.FieldMax(0)
+		ib &= fuzzLayout.FieldMax(1)
+
+		ka, err := fuzzLayout.Encode(ga, ia)
+		if err != nil {
+			t.Fatalf("Encode(%d, %d): %v", ga, ia, err)
+		}
+		kb := fuzzLayout.MustEncode(gb, ib)
+
+		if got := fuzzLayout.Decode(ka); got[0] != ga || got[1] != ia {
+			t.Fatalf("Decode(%#x) = %v, want [%d %d]", ka, got, ga, ia)
+		}
+
+		wantLess := ga < gb || (ga == gb && ia < ib)
+		if (ka < kb) != wantLess {
+			t.Fatalf("order broken: (%d,%d)=%#x vs (%d,%d)=%#x", ga, ia, ka, gb, ib, kb)
+		}
+		if (ka == kb) != (ga == gb && ia == ib) {
+			t.Fatalf("equality broken: (%d,%d)=%#x vs (%d,%d)=%#x", ga, ia, ka, gb, ib, kb)
+		}
+
+		lo, hi, err := fuzzLayout.PrefixRange(ga)
+		if err != nil {
+			t.Fatalf("PrefixRange(%d): %v", ga, err)
+		}
+		if !(lo <= ka && ka <= hi) {
+			t.Fatalf("key (%d,%d) outside its own prefix range [%#x, %#x]", ga, ia, lo, hi)
+		}
+		if inB := lo <= kb && kb <= hi; inB != (gb == ga) {
+			t.Fatalf("key (%d,%d) in prefix-%d range = %v", gb, ib, ga, inB)
+		}
+	})
+}

@@ -1,0 +1,210 @@
+// Package keyenc is the order-preserving key-encoding layer: composite
+// (multi-field) tuples packed into the engines' 64-bit index-key space.
+//
+// The paper's prototype keys everything by a single uint64 (Section 2's
+// hash indexes never compare keys, and the ordered skip-list index of
+// docs/indexes.md compares them as plain integers). Rather than widen the
+// key type through every layer — version words, lock tables, cursors — a
+// Layout packs a tuple of unsigned fields into one uint64 such that
+// tuple order and integer order coincide:
+//
+//	(a1, b1) < (a2, b2) lexicographically  ⇔  Encode(a1,b1) < Encode(a2,b2)
+//
+// Everything underneath (storage.KeyFunc, the skip list, all three
+// range-lock schemes) therefore works unchanged: a composite prefix scan
+// is just a ScanRange over the encoded [lo, hi] interval, and a composite
+// phantom lock is just a range lock on that interval.
+//
+// The packing is big-endian by field: the first field occupies the most
+// significant bits. Field widths are fixed per layout and documented at the
+// index, which is the classic fixed-width tuple encoding (cf. FoundationDB
+// tuples or Qserv's packed object/chunk ids — variable-width encodings
+// preserve order too, but fixed widths keep Encode/Decode branch-free and
+// make prefix ranges exact bit masks).
+package keyenc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Field describes one field of a composite key: a name (for diagnostics)
+// and its width in bits. A field of width w holds values in [0, 2^w).
+type Field struct {
+	Name string
+	Bits uint
+}
+
+// Layout is an immutable order-preserving packing of a fixed tuple shape
+// into a uint64. The zero Layout is invalid; construct with NewLayout.
+type Layout struct {
+	fields []Field
+	// shift[i] is how far field i's value is shifted left in the packed
+	// word; mask[i] is the field's maximum value (2^Bits - 1).
+	shift []uint
+	mask  []uint64
+	total uint
+}
+
+// Errors returned by Layout operations.
+var (
+	ErrArity    = errors.New("keyenc: wrong number of field values")
+	ErrOverflow = errors.New("keyenc: field value exceeds its declared width")
+)
+
+// NewLayout builds a layout from the given fields. The widths must each be
+// in [1, 64] and sum to at most 64.
+func NewLayout(fields ...Field) (*Layout, error) {
+	if len(fields) == 0 {
+		return nil, errors.New("keyenc: layout needs at least one field")
+	}
+	var total uint
+	for _, f := range fields {
+		if f.Bits < 1 || f.Bits > 64 {
+			return nil, fmt.Errorf("keyenc: field %q width %d outside [1, 64]", f.Name, f.Bits)
+		}
+		total += f.Bits
+	}
+	if total > 64 {
+		return nil, fmt.Errorf("keyenc: field widths sum to %d bits, max 64", total)
+	}
+	l := &Layout{
+		fields: append([]Field(nil), fields...),
+		shift:  make([]uint, len(fields)),
+		mask:   make([]uint64, len(fields)),
+		total:  total,
+	}
+	at := total
+	for i, f := range fields {
+		at -= f.Bits
+		l.shift[i] = at
+		if f.Bits == 64 {
+			l.mask[i] = ^uint64(0)
+		} else {
+			l.mask[i] = (uint64(1) << f.Bits) - 1
+		}
+	}
+	return l, nil
+}
+
+// MustLayout is NewLayout, panicking on error; for package-level layouts of
+// hand-written widths.
+func MustLayout(fields ...Field) *Layout {
+	l, err := NewLayout(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// NumFields returns the number of fields in the layout.
+func (l *Layout) NumFields() int { return len(l.fields) }
+
+// Field returns field i's description.
+func (l *Layout) Field(i int) Field { return l.fields[i] }
+
+// FieldMax returns the largest value field i can hold (2^Bits - 1).
+func (l *Layout) FieldMax(i int) uint64 { return l.mask[i] }
+
+// Bits returns the total packed width. Encoded keys use the low Bits()
+// bits; the unused high bits are always zero, so keys from the same layout
+// compare correctly and never collide with the unused space above.
+func (l *Layout) Bits() uint { return l.total }
+
+// String renders the layout shape, e.g. "(region:16, user:32, seq:16)".
+func (l *Layout) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, f := range l.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%d", f.Name, f.Bits)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Encode packs one value per field into a single key. It returns ErrArity
+// when the value count does not match the layout and ErrOverflow when a
+// value does not fit its field's width.
+func (l *Layout) Encode(vals ...uint64) (uint64, error) {
+	if len(vals) != len(l.fields) {
+		return 0, fmt.Errorf("%w: layout %s got %d values", ErrArity, l, len(vals))
+	}
+	var key uint64
+	for i, v := range vals {
+		if v > l.mask[i] {
+			return 0, fmt.Errorf("%w: field %q value %d > max %d", ErrOverflow, l.fields[i].Name, v, l.mask[i])
+		}
+		key |= v << l.shift[i]
+	}
+	return key, nil
+}
+
+// MustEncode is Encode, panicking on error; for values known to fit (loop
+// indices, modular group numbers).
+func (l *Layout) MustEncode(vals ...uint64) uint64 {
+	key, err := l.Encode(vals...)
+	if err != nil {
+		panic(err)
+	}
+	return key
+}
+
+// Decode unpacks a key into one value per field.
+func (l *Layout) Decode(key uint64) []uint64 {
+	return l.DecodeInto(make([]uint64, len(l.fields)), key)
+}
+
+// DecodeInto unpacks key into dst (which must have NumFields elements) and
+// returns it; the allocation-free form of Decode.
+func (l *Layout) DecodeInto(dst []uint64, key uint64) []uint64 {
+	for i := range l.fields {
+		dst[i] = (key >> l.shift[i]) & l.mask[i]
+	}
+	return dst
+}
+
+// FieldOf extracts field i's value from a packed key.
+func (l *Layout) FieldOf(key uint64, i int) uint64 {
+	return (key >> l.shift[i]) & l.mask[i]
+}
+
+// PrefixRange returns the inclusive key interval [lo, hi] covering exactly
+// the tuples whose first len(prefix) fields equal prefix: the remaining
+// fields range from all-zeros to all-ones. An empty prefix covers the whole
+// layout. Scanning an ordered index over [lo, hi] is a composite prefix
+// scan, and range-locking [lo, hi] is a composite prefix lock.
+func (l *Layout) PrefixRange(prefix ...uint64) (lo, hi uint64, err error) {
+	if len(prefix) > len(l.fields) {
+		return 0, 0, fmt.Errorf("%w: layout %s got %d prefix values", ErrArity, l, len(prefix))
+	}
+	for i, v := range prefix {
+		if v > l.mask[i] {
+			return 0, 0, fmt.Errorf("%w: field %q value %d > max %d", ErrOverflow, l.fields[i].Name, v, l.mask[i])
+		}
+		lo |= v << l.shift[i]
+	}
+	// The suffix fields span shift[last-prefix-field]... i.e. everything
+	// below the last prefix field's low edge.
+	var suffixBits uint
+	if len(prefix) < len(l.fields) {
+		suffixBits = l.shift[len(prefix)] + l.fields[len(prefix)].Bits
+	}
+	if suffixBits == 64 {
+		return 0, ^uint64(0), nil
+	}
+	hi = lo | ((uint64(1) << suffixBits) - 1)
+	return lo, hi, nil
+}
+
+// MustPrefixRange is PrefixRange, panicking on error.
+func (l *Layout) MustPrefixRange(prefix ...uint64) (lo, hi uint64) {
+	lo, hi, err := l.PrefixRange(prefix...)
+	if err != nil {
+		panic(err)
+	}
+	return lo, hi
+}

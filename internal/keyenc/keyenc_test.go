@@ -1,0 +1,207 @@
+package keyenc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(); err == nil {
+		t.Fatal("empty layout accepted")
+	}
+	if _, err := NewLayout(Field{"a", 0}); err == nil {
+		t.Fatal("zero-width field accepted")
+	}
+	if _, err := NewLayout(Field{"a", 65}); err == nil {
+		t.Fatal("65-bit field accepted")
+	}
+	if _, err := NewLayout(Field{"a", 40}, Field{"b", 25}); err == nil {
+		t.Fatal("65 total bits accepted")
+	}
+	if _, err := NewLayout(Field{"a", 32}, Field{"b", 32}); err != nil {
+		t.Fatalf("64 total bits rejected: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	l := MustLayout(Field{"region", 16}, Field{"user", 32}, Field{"seq", 16})
+	cases := [][]uint64{
+		{0, 0, 0},
+		{1, 2, 3},
+		{65535, 4294967295, 65535},
+		{7, 0, 65535},
+	}
+	for _, vals := range cases {
+		key, err := l.Encode(vals...)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", vals, err)
+		}
+		got := l.Decode(key)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("Decode(Encode(%v)) = %v", vals, got)
+			}
+			if f := l.FieldOf(key, i); f != vals[i] {
+				t.Fatalf("FieldOf(%d) = %d, want %d", i, f, vals[i])
+			}
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	l := MustLayout(Field{"a", 8}, Field{"b", 8})
+	if _, err := l.Encode(1); !errors.Is(err, ErrArity) {
+		t.Fatalf("arity err = %v", err)
+	}
+	if _, err := l.Encode(1, 2, 3); !errors.Is(err, ErrArity) {
+		t.Fatalf("arity err = %v", err)
+	}
+	if _, err := l.Encode(256, 0); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("overflow err = %v", err)
+	}
+	if _, _, err := l.PrefixRange(0, 0, 0); !errors.Is(err, ErrArity) {
+		t.Fatalf("prefix arity err = %v", err)
+	}
+	if _, _, err := l.PrefixRange(999); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("prefix overflow err = %v", err)
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	l := MustLayout(Field{"grp", 16}, Field{"id", 48})
+	lo, hi := l.MustPrefixRange(5)
+	if want := uint64(5) << 48; lo != want {
+		t.Fatalf("lo = %#x, want %#x", lo, want)
+	}
+	if want := uint64(5)<<48 | (uint64(1)<<48 - 1); hi != want {
+		t.Fatalf("hi = %#x, want %#x", hi, want)
+	}
+	// Full-tuple prefix pins a single key.
+	lo, hi = l.MustPrefixRange(5, 77)
+	if lo != hi || lo != l.MustEncode(5, 77) {
+		t.Fatalf("full prefix [%#x, %#x]", lo, hi)
+	}
+	// Empty prefix covers the whole key space of the layout.
+	lo, hi = l.MustPrefixRange()
+	if lo != 0 || hi != ^uint64(0) {
+		t.Fatalf("empty prefix [%#x, %#x]", lo, hi)
+	}
+	// Narrow layout: empty prefix is bounded by the layout's total width.
+	s := MustLayout(Field{"a", 4}, Field{"b", 4})
+	lo, hi = s.MustPrefixRange()
+	if lo != 0 || hi != 255 {
+		t.Fatalf("8-bit layout empty prefix [%d, %d]", lo, hi)
+	}
+	// Adjacent prefixes tile the space without overlap.
+	_, hi5 := l.MustPrefixRange(5)
+	lo6, _ := l.MustPrefixRange(6)
+	if hi5+1 != lo6 {
+		t.Fatalf("prefix 5 ends %#x, prefix 6 starts %#x", hi5, lo6)
+	}
+}
+
+func TestStringAndAccessors(t *testing.T) {
+	l := MustLayout(Field{"grp", 16}, Field{"id", 48})
+	if l.String() != "(grp:16, id:48)" {
+		t.Fatalf("String = %q", l.String())
+	}
+	if l.NumFields() != 2 || l.Field(1).Name != "id" || l.Bits() != 64 {
+		t.Fatal("accessors wrong")
+	}
+	if l.FieldMax(0) != 65535 {
+		t.Fatalf("FieldMax = %d", l.FieldMax(0))
+	}
+}
+
+// quickLayout is the shared property-test layout; widths deliberately
+// uneven and summing below 64 to exercise the unused-high-bits case.
+var quickLayout = MustLayout(Field{"a", 12}, Field{"b", 31}, Field{"c", 9})
+
+func clampVals(l *Layout, raw [3]uint64) []uint64 {
+	vals := make([]uint64, 3)
+	for i := range vals {
+		vals[i] = raw[i] & l.FieldMax(i)
+	}
+	return vals
+}
+
+// TestQuickRoundTrip: Decode(Encode(t)) == t for arbitrary in-range tuples.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw [3]uint64) bool {
+		vals := clampVals(quickLayout, raw)
+		key, err := quickLayout.Encode(vals...)
+		if err != nil {
+			return false
+		}
+		got := quickLayout.Decode(key)
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tupleLess(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// TestQuickOrderPreserving: a < b lexicographically ⇔ Encode(a) < Encode(b).
+func TestQuickOrderPreserving(t *testing.T) {
+	f := func(rawA, rawB [3]uint64) bool {
+		a := clampVals(quickLayout, rawA)
+		b := clampVals(quickLayout, rawB)
+		ka := quickLayout.MustEncode(a...)
+		kb := quickLayout.MustEncode(b...)
+		return tupleLess(a, b) == (ka < kb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPrefixRangeMembership: a key falls inside PrefixRange(p...) iff
+// its tuple starts with p.
+func TestQuickPrefixRangeMembership(t *testing.T) {
+	f := func(raw [3]uint64, rawPrefix uint64, plen uint8) bool {
+		vals := clampVals(quickLayout, raw)
+		n := int(plen) % 4 // 0..3 prefix fields
+		prefix := make([]uint64, n)
+		for i := range prefix {
+			// Half the time probe with the tuple's own field value so the
+			// in-range case is actually generated.
+			if rawPrefix&(1<<i) != 0 {
+				prefix[i] = vals[i]
+			} else {
+				prefix[i] = (rawPrefix >> (8 * i)) & quickLayout.FieldMax(i)
+			}
+		}
+		lo, hi, err := quickLayout.PrefixRange(prefix...)
+		if err != nil {
+			return false
+		}
+		key := quickLayout.MustEncode(vals...)
+		inRange := lo <= key && key <= hi
+		matches := true
+		for i := range prefix {
+			if vals[i] != prefix[i] {
+				matches = false
+				break
+			}
+		}
+		return inRange == matches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,48 +10,81 @@ import (
 // Commit drives the transaction through the end of normal processing, the
 // preparation phase, and postprocessing (Sections 2.4, 3.2-3.3, 4.3).
 //
-// Pessimistic steps: release read and bucket locks, wait for incoming
-// wait-for dependencies, then precommit. Optimistic steps: validate reads
-// and scans after precommit. Both: wait for commit dependencies, write the
-// redo log record, switch to Committed, propagate the end timestamp into the
-// version words, report to dependents, and hand old versions to the garbage
-// collector.
+// Pessimistic steps: wait for incoming wait-for dependencies, precommit,
+// then release read, bucket and range locks (the end timestamp must be
+// drawn while the locks are still held — see the ordering comment below).
+// Optimistic steps: validate reads and scans after precommit. Both: wait
+// for commit dependencies, write the redo log record, switch to Committed,
+// propagate the end timestamp into the version words, report to dependents,
+// and hand old versions to the garbage collector.
 //
 // A non-nil error means the transaction aborted; the abort has already been
 // fully processed.
 func (tx *Tx) Commit() error {
+	_, err := tx.CommitTS()
+	return err
+}
+
+// CommitTS commits like Commit and additionally returns the transaction's
+// end timestamp — its serialization point, the value history checkers
+// replay in (see internal/check). The timestamp is captured inside the
+// commit itself because the Tx and its txn.Txn are recycled objects:
+// reading T.End() after Commit returns races with the pool handing the
+// object to another goroutine's Begin. A zero timestamp with a nil error
+// is a fast commit — the transaction wrote nothing, held no locks and
+// needed no validation, so its commit point is unordered with respect to
+// every other transaction (fastCommittable).
+func (tx *Tx) CommitTS() (uint64, error) {
 	if tx.done {
-		return ErrTxDone
+		return 0, ErrTxDone
 	}
 	if tx.fastCommittable() {
-		return tx.commitFast()
+		return 0, tx.commitFast()
 	}
-
-	// End of normal processing (Section 4.3.1): release read locks, bucket
-	// locks and range locks. Purely optimistic transactions hold none.
-	tx.releaseAllReadLocks()
-	tx.releaseBucketLocks()
-	tx.releaseRangeLocks()
 
 	if tx.T.AbortRequested() {
 		tx.e.cascadingAborts.Add(1)
 		tx.abortInternal()
-		return ErrAborted
+		return 0, ErrAborted
 	}
+
+	// Drop read locks on our own updated versions first — they fund a
+	// wait-for dependency on ourselves that could never drain below.
+	tx.releaseSelfWriteReadLocks()
 
 	// Wait until incoming wait-for dependencies drain; this also flips
 	// NoMoreWaitFors so no new ones can be installed. The deadlock detector
-	// may break this wait by setting AbortNow.
+	// may break this wait by setting AbortNow. Read, bucket and range locks
+	// are still held here: a blocked holder is a detector node, its waiters
+	// have explicit edges, and versions it read-locked contribute the
+	// implicit edges, so any cycle this creates is found and broken.
 	if err := tx.T.WaitWaitFors(); err != nil {
 		tx.e.cascadingAborts.Add(1)
 		tx.abortInternal()
-		return ErrAborted
+		return 0, ErrAborted
 	}
 
 	// Precommit: acquire the end timestamp and enter the Preparing state.
 	end := tx.e.oracle.Next()
 	tx.T.SetEnd(end)
 	tx.T.SetState(txn.Preparing)
+
+	// End of normal processing: release read locks, bucket locks and range
+	// locks — strictly AFTER the end timestamp draw. The order is
+	// load-bearing for "serializable in end-timestamp order": every
+	// transaction our locks delayed (an eager updater of a version we
+	// read-locked, an inserter into a range or bucket we scan-locked)
+	// acquires its end timestamp only after its wait drains, and the wait
+	// drains only here, so its end timestamp exceeds ours and our reads
+	// stay valid as of our own end. Releasing before the draw (the previous
+	// order) left a window in which the delayed writer won the oracle race
+	// and serialized BEFORE the scan it was delayed by — a phantom in
+	// commit order that the range-aware history checker
+	// (check.ValidateIndexed, TestRangeHistorySerializable) detects.
+	// Purely optimistic transactions hold no locks.
+	tx.releaseAllReadLocks()
+	tx.releaseBucketLocks()
+	tx.releaseRangeLocks()
 
 	// Release outgoing wait-for dependencies: transactions that inserted
 	// into our locked buckets (or whose commits we delayed for phantom
@@ -64,7 +97,7 @@ func (tx *Tx) Commit() error {
 		if err := tx.validate(end); err != nil {
 			tx.e.validationFails.Add(1)
 			tx.abortInternal()
-			return err
+			return 0, err
 		}
 	}
 
@@ -72,7 +105,7 @@ func (tx *Tx) Commit() error {
 	if err := tx.T.WaitCommitDeps(); err != nil {
 		tx.e.cascadingAborts.Add(1)
 		tx.abortInternal()
-		return ErrAborted
+		return 0, ErrAborted
 	}
 
 	// Write the redo record. Commit ordering is determined by end
@@ -94,7 +127,7 @@ func (tx *Tx) Commit() error {
 		}
 		if err := tx.e.cfg.Log.Append(rec); err != nil {
 			tx.abortInternal()
-			return err
+			return 0, err
 		}
 	}
 
@@ -134,7 +167,7 @@ func (tx *Tx) Commit() error {
 	tx.done = true
 	tx.e.commits.Add(1)
 	tx.e.finishTx(tx)
-	return nil
+	return end, nil
 }
 
 // fastCommittable reports whether the transaction can commit without
@@ -337,7 +370,10 @@ func (tx *Tx) rescan(sc *scanRecord, end uint64) error {
 		return nil
 	}
 	if sc.ix.Ordered() {
-		cur := sc.ix.ScanRange(sc.lo, sc.hi)
+		cur, err := sc.ix.ScanRange(sc.lo, sc.hi)
+		if err != nil {
+			return err
+		}
 		for {
 			b, _, ok := cur.Next()
 			if !ok {

@@ -111,8 +111,9 @@ func (tx *Tx) releaseReadLock(v *storage.Version) {
 	}
 }
 
-// releaseAllReadLocks releases every read lock held by tx. Called at the end
-// of normal processing, before waiting on wait-for dependencies.
+// releaseAllReadLocks releases every read lock held by tx. Called after
+// precommit (the end timestamp must be drawn while the locks are held) and
+// on abort.
 func (tx *Tx) releaseAllReadLocks() {
 	if !tx.tookLocks {
 		return
@@ -121,6 +122,33 @@ func (tx *Tx) releaseAllReadLocks() {
 	tx.readLockBuf = tx.T.DrainReadLocks(tx.readLockBuf)
 	for _, v := range tx.readLockBuf {
 		tx.releaseReadLock(v)
+	}
+	clear(tx.readLockBuf)
+	tx.readLockBuf = tx.readLockBuf[:0]
+}
+
+// releaseSelfWriteReadLocks releases the read locks tx holds on versions tx
+// itself write-locked (read-then-update of one row). Called before
+// WaitWaitFors: installWriteLock charged tx a wait-for dependency for the
+// read locks it found on the version, and when those locks are tx's own the
+// dependency can never drain while they are held to precommit — the
+// transaction would wait on itself. Stability needs no read lock once tx
+// owns the write lock: a competing writer hits ErrWriteConflict, and the
+// version's End can only ever become tx's own end timestamp. Read locks on
+// versions locked by OTHER writers (or by no writer) stay held through the
+// end-timestamp draw.
+func (tx *Tx) releaseSelfWriteReadLocks() {
+	if !tx.tookLocks || len(tx.writeSet) == 0 {
+		return
+	}
+	tx.readLockBuf = tx.T.DrainReadLocks(tx.readLockBuf)
+	for _, v := range tx.readLockBuf {
+		w := v.End()
+		if field.IsLock(w) && field.Writer(w) == tx.T.ID() {
+			tx.releaseReadLock(v)
+		} else {
+			tx.T.RecordReadLock(v)
+		}
 	}
 	clear(tx.readLockBuf)
 	tx.readLockBuf = tx.readLockBuf[:0]

@@ -232,7 +232,10 @@ func (tx *Tx) scanRange(t *storage.Table, indexOrd int, lo, hi uint64, pred Pred
 		}
 	}
 	rt := tx.readTime()
-	cur := ix.ScanRange(lo, hi)
+	cur, err := ix.ScanRange(lo, hi)
+	if err != nil {
+		return err
+	}
 	for {
 		b, _, ok := cur.Next()
 		if !ok {
@@ -283,6 +286,19 @@ func (tx *Tx) visit(v *storage.Version, rt uint64, ser, forUpdate bool, fn func(
 				tx.e.lockFailures.Add(1)
 				return false, err
 			}
+		} else {
+			// Visible at rt yet already committed-replaced: the replacer
+			// drew its end timestamp after our read time was taken, so this
+			// observation is stale as of our own (still larger) end
+			// timestamp and no read lock can stabilize it — the same
+			// "replaced between visibility check and lock acquisition"
+			// condition acquireReadLock reports. Pessimistic read stability
+			// is lock-based, not validation-based, so the only sound
+			// outcome is to abort. (Pessimistic snapshot-isolation reads at
+			// the begin timestamp never take this branch: they do not
+			// require stability at the end timestamp.)
+			tx.e.lockFailures.Add(1)
+			return false, ErrReadLockFailed
 		}
 	}
 	return fn(v)

@@ -136,12 +136,13 @@ func (ix *OrderedIndex) NodeStats() (marked, dead, pooled int, created, reused, 
 }
 
 // ScanRange returns a cursor over the buckets with keys in [lo, hi]
-// inclusive, in ascending key order.
-func (ix *OrderedIndex) ScanRange(lo, hi uint64) RangeCursor {
+// inclusive, in ascending key order. An inverted range yields an exhausted
+// cursor, not an error.
+func (ix *OrderedIndex) ScanRange(lo, hi uint64) (RangeCursor, error) {
 	if lo > hi {
-		return RangeCursor{}
+		return RangeCursor{}, nil
 	}
-	return RangeCursor{node: ix.list.Seek(lo), hi: hi}
+	return RangeCursor{node: ix.list.Seek(lo), hi: hi}, nil
 }
 
 // RangeLocks returns the index's range-lock table.

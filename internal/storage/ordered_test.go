@@ -132,7 +132,10 @@ func TestOrderedIndexLinkScan(t *testing.T) {
 	}
 	// Range cursor in order.
 	var got []uint64
-	cur := ix.ScanRange(2, 8)
+	cur, err := ix.ScanRange(2, 8)
+	if err != nil {
+		t.Fatalf("ScanRange: %v", err)
+	}
 	for {
 		b, key, ok := cur.Next()
 		if !ok {
@@ -153,8 +156,32 @@ func TestOrderedIndexLinkScan(t *testing.T) {
 		}
 	}
 	// Inverted and empty ranges.
-	if _, _, ok := func() (*Bucket, uint64, bool) { c := ix.ScanRange(8, 2); return c.Next() }(); ok {
+	if _, _, ok := func() (*Bucket, uint64, bool) {
+		c, err := ix.ScanRange(8, 2)
+		if err != nil {
+			t.Fatalf("inverted ScanRange: %v", err)
+		}
+		return c.Next()
+	}(); ok {
 		t.Fatal("inverted range yielded a bucket")
+	}
+}
+
+// TestHashIndexScanRangeUnordered: the uniform range-gating contract at
+// the storage layer — a hash index's ScanRange surfaces ErrUnordered
+// rather than silently returning an exhausted cursor, so no caller can
+// mistake "this index cannot answer range queries" for "empty range".
+// (The engine layers have their own cross-engine regression:
+// core.TestCoreScanRangeUnordered.)
+func TestHashIndexScanRangeUnordered(t *testing.T) {
+	tbl := newTable(t, 64)
+	tbl.Insert(NewVersion(pay(1), 1, 10, ^uint64(0)))
+	cur, err := tbl.Index(0).ScanRange(0, 10)
+	if err != ErrUnordered {
+		t.Fatalf("hash ScanRange err = %v, want ErrUnordered", err)
+	}
+	if _, _, ok := cur.Next(); ok {
+		t.Fatal("error cursor yielded a bucket")
 	}
 }
 
@@ -173,7 +200,10 @@ func TestOrderedIndexUnlink(t *testing.T) {
 	}
 	// Unlinked versions are gone from the chains; nodes survive.
 	n := 0
-	cur := tbl.Index(0).ScanRange(0, 10)
+	cur, err := tbl.Index(0).ScanRange(0, 10)
+	if err != nil {
+		t.Fatalf("ScanRange: %v", err)
+	}
 	for {
 		b, _, ok := cur.Next()
 		if !ok {

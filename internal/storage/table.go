@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/keyenc"
 )
 
 // KeyFunc extracts the index key from a record payload. Payload layouts are
@@ -20,6 +22,16 @@ type IndexSpec struct {
 	// Ordered selects an ordered (range-scannable) index instead of a hash
 	// index. Ordered indexes support ScanRange; Buckets is ignored.
 	Ordered bool
+	// Composite, when non-nil, documents the index key as an
+	// order-preserving packed tuple (see keyenc.Layout): Key must return
+	// Composite.Encode of the payload's fields. The engines below treat the
+	// key as an opaque uint64 — packing is what keeps the skip list, the
+	// version words and all three range-lock schemes unchanged — while the
+	// layout lets the layers above (core.Tx.ScanPrefix) turn a field prefix
+	// into an exact [lo, hi] scan or lock range. Meaningful with Ordered
+	// (prefix scans need key order); legal on a hash index for exact-tuple
+	// point lookups.
+	Composite *keyenc.Layout
 	// Buckets is the hash table size; it is rounded up to a power of two.
 	// The paper sizes hash tables so there are no collisions; callers should
 	// pass at least the expected row count.
@@ -67,9 +79,10 @@ type Index interface {
 	// Unlink removes v from its bucket chain (garbage collection).
 	Unlink(v *Version)
 	// ScanRange returns a cursor over the buckets with keys in [lo, hi], in
-	// ascending key order. Only valid on ordered indexes; a hash index
-	// returns an exhausted cursor (callers gate on Ordered).
-	ScanRange(lo, hi uint64) RangeCursor
+	// ascending key order. A hash index returns ErrUnordered — every
+	// unordered range attempt surfaces the error instead of silently
+	// yielding an exhausted cursor.
+	ScanRange(lo, hi uint64) (RangeCursor, error)
 	// RangeLocks returns the index's range-lock table (phantom protection
 	// for pessimistic serializable scans), or nil for hash indexes, whose
 	// bucket locks cover absent keys physically.
@@ -236,9 +249,13 @@ func (ix *HashIndex) Lookup(key uint64) *Bucket { return ix.Bucket(key) }
 // index on the table").
 func (ix *HashIndex) BucketAt(i int) *Bucket { return &ix.buckets[i] }
 
-// ScanRange on a hash index returns an exhausted cursor; callers gate range
-// scans on Ordered.
-func (ix *HashIndex) ScanRange(lo, hi uint64) RangeCursor { return RangeCursor{} }
+// ScanRange on a hash index fails with ErrUnordered: hash buckets have no
+// key order to iterate, and silently returning an exhausted cursor would
+// let a miswired caller read "empty range" where the real answer is "this
+// index cannot answer range queries".
+func (ix *HashIndex) ScanRange(lo, hi uint64) (RangeCursor, error) {
+	return RangeCursor{}, ErrUnordered
+}
 
 // RangeLocks returns nil: hash bucket locks cover absent keys physically, so
 // no predicate-shaped lock table is needed.

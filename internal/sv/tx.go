@@ -507,8 +507,20 @@ func (tx *Tx) DeleteWhere(t *Table, indexOrd int, key uint64, pred Pred) (int, e
 // redo record to order, the commit point needs no position in the global
 // commit order.
 func (tx *Tx) Commit() error {
+	_, err := tx.CommitTS()
+	return err
+}
+
+// CommitTS commits like Commit and additionally returns the end sequence
+// number drawn for the redo record — the writer's position in the global
+// commit order. Transactions that wrote nothing return 0: they draw no end
+// sequence, and under strict two-phase locking their serialization point is
+// anywhere inside the locked region, so history checkers stamp them
+// externally while the locks are still held (see
+// internal/core/serializability_test.go).
+func (tx *Tx) CommitTS() (uint64, error) {
 	if tx.done {
-		return ErrTxDone
+		return 0, ErrTxDone
 	}
 	if len(tx.writes) == 0 && len(tx.undo) == 0 {
 		tx.releaseAll()
@@ -516,14 +528,14 @@ func (tx *Tx) Commit() error {
 		tx.e.commits.Add(1)
 		tx.e.fastCommits.Add(1)
 		tx.e.maybeReclaim()
-		return nil
+		return 0, nil
 	}
 	endTS := tx.e.endSeq.Add(1)
 	if tx.e.cfg.Log != nil && len(tx.writes) > 0 {
 		rec := &wal.Record{TxID: tx.id, EndTS: endTS, Ops: tx.writes}
 		if err := tx.e.cfg.Log.Append(rec); err != nil {
 			tx.rollback()
-			return err
+			return 0, err
 		}
 	}
 	for i := range tx.undo {
@@ -538,7 +550,7 @@ func (tx *Tx) Commit() error {
 	tx.done = true
 	tx.e.commits.Add(1)
 	tx.e.maybeReclaim()
-	return nil
+	return endTS, nil
 }
 
 // Abort rolls back all changes and releases all locks.

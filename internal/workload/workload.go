@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/keyenc"
 )
 
 // RowSize is the paper's row size: "each row is 24 bytes" (Section 5.1).
@@ -99,6 +100,36 @@ func OrderedTable(db *core.Database, n uint64) (*core.Table, error) {
 	return tbl, nil
 }
 
+// SecondaryLayout is the composite key layout of the secondary-index
+// workload: (group, id) packed order-preserving, so all rows of one group
+// are one encoded prefix range.
+var SecondaryLayout = keyenc.MustLayout(
+	keyenc.Field{Name: "grp", Bits: 16},
+	keyenc.Field{Name: "id", Bits: 48},
+)
+
+// SecondaryTable builds the secondary-index schema: the hash primary index
+// plus a non-unique ordered secondary on the composite (group, id), where a
+// row's group is its value modulo groups. Updates that change the value
+// migrate rows between groups, so the secondary index sees delete/insert
+// churn on its duplicate-prefix chains.
+func SecondaryTable(db *core.Database, n, groups uint64) (*core.Table, error) {
+	buckets := int(n)
+	if buckets < 1024 {
+		buckets = 1024
+	}
+	secKey := func(p []byte) uint64 {
+		return SecondaryLayout.MustEncode(RowVal(p)%groups, RowKey(p))
+	}
+	return db.CreateTable(core.TableSpec{
+		Name: "rows",
+		Indexes: []core.IndexSpec{
+			{Name: "pk", Key: RowKey, Buckets: buckets},
+			{Name: "grp", Key: secKey, Ordered: true, Composite: SecondaryLayout},
+		},
+	})
+}
+
 // Load populates the table with n rows keyed 0..n-1, value = key.
 func Load(db *core.Database, tbl *core.Table, n uint64) {
 	for k := uint64(0); k < n; k++ {
@@ -168,6 +199,48 @@ func (m RangeMix) Run(tx *core.Tx, rng *rand.Rand) (int, error) {
 			hi = m.N - 1
 		}
 		err := tx.ScanRange(m.Table, 0, lo, hi, nil, func(r core.Row) bool {
+			reads++
+			return true
+		})
+		if err != nil {
+			return reads, err
+		}
+	}
+	for i := 0; i < m.W; i++ {
+		key := m.Dist.Next(rng)
+		newVal := rng.Uint64()
+		_, err := tx.UpdateWhere(m.Table, 0, key, nil, func(old []byte) []byte {
+			return Row(key, newVal)
+		})
+		if err != nil {
+			return reads, err
+		}
+	}
+	return reads, nil
+}
+
+// SecondaryMix is the secondary-index transaction over a SecondaryTable:
+// Scans composite prefix scans, each reading one whole group through the
+// ordered secondary index, followed by W point updates through the primary
+// index that assign random values — migrating the updated rows to random
+// groups. It exercises the non-unique secondary access path: duplicate
+// prefix chains, cross-index link/unlink on every update, and (under
+// serializable isolation) prefix-shaped phantom protection.
+type SecondaryMix struct {
+	Table  *core.Table
+	Dist   Dist // primary-key distribution for the updates
+	N      uint64
+	Groups uint64
+	Scans  int
+	W      int
+}
+
+// Run executes one transaction body. It returns the number of rows read.
+func (m SecondaryMix) Run(tx *core.Tx, rng *rand.Rand) (int, error) {
+	reads := 0
+	for i := 0; i < m.Scans; i++ {
+		g := rng.Uint64() % m.Groups
+		err := tx.ScanPrefix(m.Table, 1, []uint64{g}, nil, func(r core.Row) bool {
 			reads++
 			return true
 		})

@@ -134,3 +134,52 @@ func TestLongReaderWraps(t *testing.T) {
 	}
 	tx.Commit()
 }
+
+func TestSecondaryMixRunCounts(t *testing.T) {
+	const (
+		rows   = 1000
+		groups = 10
+	)
+	for _, scheme := range []core.Scheme{core.MVOptimistic, core.MVPessimistic, core.SingleVersion} {
+		db, err := core.Open(core.Config{Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := SecondaryTable(db, rows, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Load(db, tbl, rows)
+		m := SecondaryMix{Table: tbl, Dist: Uniform{N: rows}, N: rows, Groups: groups, Scans: 2, W: 2}
+		rng := rand.New(rand.NewSource(11))
+		tx := db.Begin()
+		reads, err := m.Run(tx, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Initial load: value = key, so each group holds exactly rows/groups
+		// rows and two prefix scans read two full groups.
+		if reads != 2*rows/groups {
+			t.Fatalf("%v: reads = %d, want %d", scheme, reads, 2*rows/groups)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		// The two updates migrated rows: total across groups is unchanged.
+		tx = db.Begin()
+		total := 0
+		if err := tx.ScanRange(tbl, 1, 0, ^uint64(0), nil, func(core.Row) bool {
+			total++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if total != rows {
+			t.Fatalf("%v: secondary index holds %d rows, want %d", scheme, total, rows)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		db.Close()
+	}
+}
