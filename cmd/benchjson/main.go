@@ -24,8 +24,11 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/recovery"
 	"repro/internal/tatp"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -63,6 +66,21 @@ type File struct {
 	// single-version engine: transaction-ID plus end-sequence increments
 	// across a run of 1V read-only fast-lane transactions. Must be zero.
 	ReadOnlyCounterDelta1V *uint64 `json:"read_only_counter_delta_1v,omitempty"`
+	// Recovery compares cold-start wall time from the log alone against a
+	// checkpoint plus log tail over the same history (see measureRecovery).
+	Recovery *RecoveryResult `json:"recovery,omitempty"`
+}
+
+// RecoveryResult is the recovery scenario's measurement: the same workload
+// history restored two ways.
+type RecoveryResult struct {
+	LogRecords     int     `json:"log_records"`
+	LogOnlyMs      float64 `json:"log_only_ms"`
+	CheckpointMs   float64 `json:"checkpoint_tail_ms"`
+	SpeedupPct     float64 `json:"speedup_pct"`
+	RowsRestored   int     `json:"rows_restored"`
+	TailRecords    int     `json:"tail_records"`
+	SkippedRecords int     `json:"skipped_records"`
 }
 
 const (
@@ -422,6 +440,154 @@ func tatpBatch(scheme core.Scheme) func(*testing.B) {
 	}
 }
 
+// measureRecovery builds a logged workload history with a mid-run streaming
+// checkpoint (KeepLog, so the full log survives), then restores it twice
+// into fresh databases: once replaying the entire log, once from the
+// checkpoint partitions (4 parallel workers) plus the filtered tail.
+func measureRecovery() (*RecoveryResult, error) {
+	const (
+		rows     = 20_000
+		loadTxns = 500 // rows per load transaction: rows/loadTxns records
+		updates  = 12_000
+		tailUpd  = 6_000
+	)
+	dir, err := os.MkdirTemp("", "benchjson-recovery-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := ckpt.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	db, err := core.Open(core.Config{Scheme: core.MVOptimistic, LogSink: store})
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := workload.Table(db, rows)
+	if err != nil {
+		return nil, err
+	}
+	for base := uint64(0); base < rows; base += loadTxns {
+		tx := db.Begin()
+		for k := base; k < base+loadTxns && k < rows; k++ {
+			if err := tx.Insert(tbl, workload.Row(k, k)); err != nil {
+				return nil, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	update := func(n int) error {
+		for i := 0; i < n; i++ {
+			k := rng.Uint64() % rows
+			tx := db.Begin()
+			if _, err := tx.UpdateWhere(tbl, 0, k, nil, func(old []byte) []byte {
+				return workload.Row(k, rng.Uint64())
+			}); err != nil {
+				tx.Abort()
+				return err
+			}
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := update(updates); err != nil {
+		return nil, err
+	}
+	cp := ckpt.New(db, store, []ckpt.TableSpec{{Table: tbl, Partitions: 4, Lo: 0, Hi: rows - 1}},
+		ckpt.Options{KeepLog: true})
+	if _, err := cp.Run(); err != nil {
+		return nil, err
+	}
+	if err := update(tailUpd); err != nil {
+		return nil, err
+	}
+	if err := db.Close(); err != nil {
+		return nil, err
+	}
+	if err := store.Close(); err != nil {
+		return nil, err
+	}
+
+	// Path A: full-log replay (checkpoint ignored).
+	storeA, err := ckpt.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	dbA, err := core.Open(core.Config{Scheme: core.MVOptimistic})
+	if err != nil {
+		return nil, err
+	}
+	defer dbA.Close()
+	tblA, err := workload.Table(dbA, rows)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := storeA.SegmentPaths()
+	if err != nil {
+		return nil, err
+	}
+	startA := time.Now()
+	var recs []*wal.Record
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		seg, err := wal.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, seg...)
+	}
+	if _, err := recovery.ReplayRecords(dbA, recovery.TableSet{"rows": tblA}, recs); err != nil {
+		return nil, err
+	}
+	logOnly := time.Since(startA)
+	storeA.Close()
+
+	// Path B: checkpoint partitions + filtered tail.
+	storeB, err := ckpt.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer storeB.Close()
+	dbB, err := core.Open(core.Config{Scheme: core.MVOptimistic})
+	if err != nil {
+		return nil, err
+	}
+	defer dbB.Close()
+	tblB, err := workload.Table(dbB, rows)
+	if err != nil {
+		return nil, err
+	}
+	startB := time.Now()
+	st, err := recovery.Recover(dbB, recovery.TableSet{"rows": tblB}, storeB, recovery.Options{Workers: 4})
+	if err != nil {
+		return nil, err
+	}
+	viaCkpt := time.Since(startB)
+
+	res := &RecoveryResult{
+		LogRecords:     len(recs),
+		LogOnlyMs:      float64(logOnly.Microseconds()) / 1000,
+		CheckpointMs:   float64(viaCkpt.Microseconds()) / 1000,
+		RowsRestored:   st.RowsRestored,
+		TailRecords:    st.TailRecords,
+		SkippedRecords: st.SkippedRecords,
+	}
+	if logOnly > 0 {
+		res.SpeedupPct = 100 * (1 - viaCkpt.Seconds()/logOnly.Seconds())
+	}
+	return res, nil
+}
+
 func toResult(r testing.BenchmarkResult) Result {
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
 	tps := 0.0
@@ -534,6 +700,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  %d 1V sequence increments across %d read-only txns\n", delta1v, counterTxns)
 	}
 
+	fmt.Fprintln(os.Stderr, "measuring recovery: full-log replay vs checkpoint+tail...")
+	recRes, recErr := measureRecovery()
+	if recErr == nil {
+		file.Recovery = recRes
+		fmt.Fprintf(os.Stderr, "  %d log records: log-only %.1f ms, checkpoint+tail %.1f ms (%.0f%% faster, %d rows restored, %d tail records)\n",
+			recRes.LogRecords, recRes.LogOnlyMs, recRes.CheckpointMs, recRes.SpeedupPct, recRes.RowsRestored, recRes.TailRecords)
+	}
+
 	// Write the results before acting on any failure: a long benchmark run's
 	// data must survive a -check violation so there is something to diagnose
 	// the regression from.
@@ -552,6 +726,10 @@ func main() {
 
 	if deltaErr != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", deltaErr)
+		os.Exit(1)
+	}
+	if recErr != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", recErr)
 		os.Exit(1)
 	}
 	if delta1vErr != nil {

@@ -1,0 +1,359 @@
+package ckpt_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+const nKeys = 400
+
+func openDB(t *testing.T, scheme core.Scheme, store *ckpt.Store) (*core.Database, *core.Table) {
+	t.Helper()
+	cfg := core.Config{Scheme: scheme, SyncCommit: true}
+	if store != nil {
+		cfg.LogSink = store
+	}
+	db, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := workload.Table(db, nKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+// mutate runs a deterministic little history: inserts, updates, deletes.
+func mutate(t *testing.T, db *core.Database, tbl *core.Table, lo, hi uint64) {
+	t.Helper()
+	const batch = 40
+	commit := func(tx *core.Tx) {
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for base := lo; base < hi; base += batch {
+		tx := db.Begin()
+		for k := base; k < base+batch && k < hi; k++ {
+			if err := tx.Insert(tbl, workload.Row(k, k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		commit(tx)
+	}
+	tx := db.Begin()
+	for k := lo; k < hi; k += 3 {
+		if _, err := tx.UpdateWhere(tbl, 0, k, nil, func(old []byte) []byte {
+			return workload.Row(k, workload.RowVal(old)+1000)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(tx)
+	tx = db.Begin()
+	for k := lo; k < hi; k += 7 {
+		if _, err := tx.DeleteWhere(tbl, 0, k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(tx)
+}
+
+func dump(t *testing.T, db *core.Database, tbl *core.Table) map[uint64]uint64 {
+	t.Helper()
+	out := make(map[uint64]uint64)
+	tx := db.Begin(core.WithIsolation(core.SnapshotIsolation))
+	for k := uint64(0); k < nKeys; k++ {
+		row, ok, err := tx.Lookup(tbl, 0, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			out[k] = workload.RowVal(row.Payload())
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func diffStates(t *testing.T, want, got map[uint64]uint64, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for k, v := range want {
+		if gv, ok := got[k]; !ok || gv != v {
+			t.Fatalf("%s: key %d = %d,%v want %d", label, k, gv, ok, v)
+		}
+	}
+}
+
+func recoverInto(t *testing.T, scheme core.Scheme, dir string, opts recovery.Options) (map[uint64]uint64, recovery.Stats) {
+	t.Helper()
+	store, err := ckpt.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	db, tbl := openDB(t, scheme, nil)
+	defer db.Close()
+	st, err := recovery.Recover(db, recovery.TableSet{"rows": tbl}, store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dump(t, db, tbl), st
+}
+
+func schemes() []core.Scheme {
+	return []core.Scheme{core.SingleVersion, core.MVPessimistic, core.MVOptimistic}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, scheme := range schemes() {
+		t.Run(scheme.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			store, err := ckpt.OpenStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, tbl := openDB(t, scheme, store)
+
+			mutate(t, db, tbl, 0, nKeys/2)
+			cp := ckpt.New(db, store, []ckpt.TableSpec{
+				{Table: tbl, Partitions: 4, Lo: 0, Hi: nKeys - 1},
+			}, ckpt.Options{})
+			cst, err := cp.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cst.StableTS == 0 || cst.Rows == 0 || cst.Partitions != 4 {
+				t.Fatalf("checkpoint stats %+v", cst)
+			}
+			// Post-checkpoint history becomes the log tail.
+			mutate(t, db, tbl, nKeys/2, nKeys)
+			want := dump(t, db, tbl)
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			got, rst := recoverInto(t, scheme, dir, recovery.Options{})
+			diffStates(t, want, got, "recovered")
+			if rst.CheckpointTS != cst.StableTS {
+				t.Errorf("recovered checkpoint TS %d, want %d", rst.CheckpointTS, cst.StableTS)
+			}
+			if rst.RowsRestored == 0 || rst.TailRecords == 0 {
+				t.Errorf("recovery stats %+v", rst)
+			}
+		})
+	}
+}
+
+// TestCheckpointTruncatesLog verifies CompactBelow actually reclaims log
+// space and that recovery afterwards still matches.
+func TestCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	store, err := ckpt.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, tbl := openDB(t, core.MVOptimistic, store)
+	mutate(t, db, tbl, 0, nKeys)
+	before := logBytes(t, store)
+	cp := ckpt.New(db, store, []ckpt.TableSpec{{Table: tbl, Lo: 0, Hi: nKeys - 1}}, ckpt.Options{})
+	cst, err := cp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.ReclaimedBytes == 0 {
+		t.Fatal("truncation reclaimed nothing")
+	}
+	after := logBytes(t, store)
+	if after >= before {
+		t.Fatalf("log grew: %d -> %d bytes", before, after)
+	}
+	want := dump(t, db, tbl)
+	db.Close()
+	store.Close()
+	got, rst := recoverInto(t, core.MVOptimistic, dir, recovery.Options{})
+	diffStates(t, want, got, "post-truncation recovery")
+	if rst.TailRecords != 0 {
+		t.Errorf("expected empty tail after quiescent checkpoint, got %d records", rst.TailRecords)
+	}
+}
+
+func logBytes(t *testing.T, store *ckpt.Store) int64 {
+	t.Helper()
+	paths, err := store.SegmentPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// TestCrashMidPartition arms the partition-write fault: the checkpoint dies
+// half-way through a partition file, no manifest publishes, and recovery
+// falls back to full-log replay.
+func TestCrashMidPartition(t *testing.T) {
+	dir := t.TempDir()
+	store, err := ckpt.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, tbl := openDB(t, core.SingleVersion, store)
+	mutate(t, db, tbl, 0, nKeys)
+	want := dump(t, db, tbl)
+
+	f := wal.NewFaults()
+	f.Arm(ckpt.FaultPartWrite, 1)
+	store.SetFaults(f)
+	cp := ckpt.New(db, store, []ckpt.TableSpec{{Table: tbl, Lo: 0, Hi: nKeys - 1}}, ckpt.Options{})
+	if _, err := cp.Run(); err != ckpt.ErrFrozen {
+		t.Fatalf("Run = %v, want ErrFrozen", err)
+	}
+	if !store.Frozen() {
+		t.Fatal("store should be frozen")
+	}
+	db.Close()
+	store.Close()
+
+	got, rst := recoverInto(t, core.SingleVersion, dir, recovery.Options{})
+	diffStates(t, want, got, "after mid-partition crash")
+	if rst.CheckpointTS != 0 || rst.RowsRestored != 0 {
+		t.Errorf("no checkpoint should be visible, stats %+v", rst)
+	}
+}
+
+// TestCrashBeforeCurrent arms the manifest fault: the checkpoint is fully
+// written but CURRENT never flips, so recovery ignores it and replays the
+// whole log.
+func TestCrashBeforeCurrent(t *testing.T) {
+	dir := t.TempDir()
+	store, err := ckpt.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, tbl := openDB(t, core.MVPessimistic, store)
+	mutate(t, db, tbl, 0, nKeys)
+	want := dump(t, db, tbl)
+
+	f := wal.NewFaults()
+	f.Arm(ckpt.FaultManifest, 0)
+	store.SetFaults(f)
+	cp := ckpt.New(db, store, []ckpt.TableSpec{{Table: tbl, Lo: 0, Hi: nKeys - 1}}, ckpt.Options{})
+	if _, err := cp.Run(); err != ckpt.ErrFrozen {
+		t.Fatalf("Run = %v, want ErrFrozen", err)
+	}
+	db.Close()
+	store.Close()
+
+	// The manifest exists on disk but is unpublished.
+	store2, err := ckpt.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man, _, err := store2.LatestManifest(); err != nil || man != nil {
+		t.Fatalf("LatestManifest = %v, %v; want nil, nil", man, err)
+	}
+	store2.Close()
+
+	got, _ := recoverInto(t, core.MVPessimistic, dir, recovery.Options{})
+	diffStates(t, want, got, "after pre-CURRENT crash")
+}
+
+// TestPartitionCRCDetected flips a payload byte in a published partition
+// file and expects recovery to refuse it.
+func TestPartitionCRCDetected(t *testing.T) {
+	dir := t.TempDir()
+	store, err := ckpt.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, tbl := openDB(t, core.MVOptimistic, store)
+	mutate(t, db, tbl, 0, nKeys)
+	cp := ckpt.New(db, store, []ckpt.TableSpec{{Table: tbl, Lo: 0, Hi: nKeys - 1}}, ckpt.Options{})
+	if _, err := cp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	store.Close()
+
+	store2, err := ckpt.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, ckdir, err := store2.LatestManifest()
+	if err != nil || man == nil {
+		t.Fatalf("LatestManifest: %v, %v", man, err)
+	}
+	store2.Close()
+	var victim string
+	for _, p := range man.Tables[0].Parts {
+		if p.Rows > 0 {
+			victim = filepath.Join(ckdir, p.File)
+			break
+		}
+	}
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store3, err := ckpt.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store3.Close()
+	db2, tbl2 := openDB(t, core.MVOptimistic, nil)
+	defer db2.Close()
+	if _, err := recovery.Recover(db2, recovery.TableSet{"rows": tbl2}, store3, recovery.Options{}); err == nil {
+		t.Fatal("recovery accepted a corrupted partition")
+	}
+}
+
+// TestBackgroundCheckpointer exercises Start/Stop under a live write load.
+func TestBackgroundCheckpointer(t *testing.T) {
+	dir := t.TempDir()
+	store, err := ckpt.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, tbl := openDB(t, core.MVOptimistic, store)
+	cp := ckpt.New(db, store, []ckpt.TableSpec{{Table: tbl, Lo: 0, Hi: nKeys - 1}}, ckpt.Options{})
+	cp.Start(2 * 1e6) // 2ms
+	mutate(t, db, tbl, 0, nKeys)
+	cp.Stop()
+	// One final foreground checkpoint so the published one is deterministic.
+	if _, err := cp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := dump(t, db, tbl)
+	db.Close()
+	store.Close()
+	got, _ := recoverInto(t, core.MVOptimistic, dir, recovery.Options{})
+	diffStates(t, want, got, "background checkpoints")
+}

@@ -1,0 +1,426 @@
+// Package ckpt implements the durability subsystem around the redo log:
+// a segmented on-disk log store, streaming checkpoints of committed state
+// partitioned by primary-key range, and log truncation below the checkpoint's
+// stable timestamp. Package recovery consumes the same store to restore
+// checkpoint partitions in parallel and replay only the log tail.
+//
+// The store doubles as the crash-injection surface: a wal.Faults registry
+// can arm named fault points (torn batch write, freeze between flush and
+// ack, partial partition write, crash before the manifest pointer flips),
+// and once any fault fires the store freezes — every subsequent write is
+// silently discarded, which models a killed process whose acknowledgements
+// after the crash point never happened. See docs/durability.md.
+package ckpt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wal"
+)
+
+// Fault points understood by the store. Arm them on the wal.Faults registry
+// passed to SetFaults.
+const (
+	// FaultWALTear tears a group-commit batch mid-write: a prefix of the
+	// batch reaches the segment, then the store freezes. The tail of the
+	// batch — typically mid-record — is the torn tail recovery tolerates.
+	FaultWALTear = "wal.tear"
+	// FaultWALFreeze freezes after a batch fully reaches the segment: the
+	// kill lands between the flush and later commit acknowledgements.
+	FaultWALFreeze = "wal.freeze"
+	// FaultPartWrite tears a checkpoint partition write and freezes: a crash
+	// mid-checkpoint, before the manifest exists.
+	FaultPartWrite = "ckpt.partition"
+	// FaultManifest freezes after the manifest file is written but before
+	// CURRENT flips to it: the checkpoint is complete on disk yet invisible,
+	// so recovery uses the previous checkpoint (or none).
+	FaultManifest = "ckpt.manifest"
+)
+
+// ErrFrozen is returned by operations refused because the store froze at an
+// injected crash point.
+var ErrFrozen = fmt.Errorf("ckpt: store frozen (simulated crash)")
+
+// Store is a durability directory: numbered write-ahead-log segments (the
+// live one receives group-commit batches via Write, making the store a
+// core.Config.LogSink), checkpoint directories, and a CURRENT pointer naming
+// the latest published checkpoint.
+type Store struct {
+	dir    string
+	faults *wal.Faults
+
+	mu      sync.Mutex
+	frozen  atomic.Bool
+	seg     *os.File
+	segPath string
+	segSeq  uint64
+	ckptSeq uint64
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir and starts a
+// fresh live segment after any existing ones — reopening after a crash never
+// appends to a possibly-torn segment.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		var n uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d.log", &n); err == nil && n > s.segSeq {
+			s.segSeq = n
+		}
+		if _, err := fmt.Sscanf(e.Name(), "ckpt-%d", &n); err == nil && n > s.ckptSeq {
+			s.ckptSeq = n
+		}
+	}
+	if err := s.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SetFaults attaches a crash-injection registry. Call before any load runs.
+func (s *Store) SetFaults(f *wal.Faults) { s.faults = f }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) openSegmentLocked() error {
+	s.segSeq++
+	s.segPath = filepath.Join(s.dir, fmt.Sprintf("wal-%06d.log", s.segSeq))
+	f, err := os.OpenFile(s.segPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(wal.SegmentHeader()); err != nil {
+		f.Close()
+		return err
+	}
+	s.seg = f
+	return nil
+}
+
+// Write appends one group-commit batch to the live segment (io.Writer for
+// wal.Log). Batches never straddle segments: rotation only happens between
+// Write calls, under the same mutex. A frozen store reports success and
+// discards the bytes — the modelled process is dead; nothing it "wrote"
+// after the crash point exists.
+func (s *Store) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen.Load() {
+		return len(p), nil
+	}
+	if s.faults.Fire(FaultWALTear) {
+		n := len(p) / 2
+		if n == 0 && len(p) > 0 {
+			n = 1
+		}
+		s.seg.Write(p[:n])
+		s.seg.Sync()
+		s.frozen.Store(true)
+		return len(p), nil
+	}
+	if s.faults.Fire(FaultWALFreeze) {
+		s.seg.Write(p)
+		s.seg.Sync()
+		s.frozen.Store(true)
+		return len(p), nil
+	}
+	n, err := s.seg.Write(p)
+	if err != nil {
+		return n, err
+	}
+	return len(p), nil
+}
+
+// Rotate seals the live segment (fsync + close) and starts the next one.
+// The checkpointer rotates after flushing the log so that every record at
+// or below the stable timestamp lives in sealed segments, which truncation
+// may rewrite.
+func (s *Store) Rotate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen.Load() {
+		return nil
+	}
+	if err := s.seg.Sync(); err != nil {
+		return err
+	}
+	if err := s.seg.Close(); err != nil {
+		return err
+	}
+	return s.openSegmentLocked()
+}
+
+// Freeze stops all future writes, modelling the crash instant. Load workers
+// poll Frozen after each commit: an acknowledgement observed after the
+// freeze may or may not be durable.
+func (s *Store) Freeze() { s.frozen.Store(true) }
+
+// Frozen reports whether the store froze.
+func (s *Store) Frozen() bool { return s.frozen.Load() }
+
+// Close fsyncs and closes the live segment. A frozen store's segment is
+// closed without syncing (the sync would model I/O the dead process never
+// issued; the bytes already written remain readable).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		return nil
+	}
+	if !s.frozen.Load() {
+		s.seg.Sync()
+	}
+	err := s.seg.Close()
+	s.seg = nil
+	return err
+}
+
+// ChopTail truncates the live segment by n bytes: the "drop tail bytes"
+// crash. It acts directly on the file — harness scalpel, not a store write —
+// so it works on a frozen store.
+func (s *Store) ChopTail(n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fi, err := os.Stat(s.segPath)
+	if err != nil {
+		return err
+	}
+	size := fi.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(s.segPath, size)
+}
+
+// SegmentPaths returns every log segment in sequence order, sealed segments
+// first, the live one last.
+func (s *Store) SegmentPaths() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		var n uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d.log", &n); err == nil {
+			paths = append(paths, filepath.Join(s.dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// CompactBelow rewrites sealed segments dropping every record with end
+// timestamp at or below stable — the log truncation step of a checkpoint:
+// those transactions' effects are in the checkpoint, so replaying them would
+// be redundant (recovery filters on the stable timestamp anyway; truncation
+// is what bounds log growth). Segments left empty are removed. The rewrite
+// is atomic per segment (temp file + rename), so a crash mid-compaction
+// leaves each segment either intact or fully compacted — both replay
+// correctly. It returns the number of log bytes reclaimed.
+func (s *Store) CompactBelow(stable uint64) (int64, error) {
+	if s.frozen.Load() {
+		return 0, ErrFrozen
+	}
+	paths, err := s.SegmentPaths()
+	if err != nil {
+		return 0, err
+	}
+	var reclaimed int64
+	for _, path := range paths {
+		if path == s.segPath {
+			continue // never rewrite the live segment
+		}
+		n, err := s.compactSegment(path, stable)
+		if err != nil {
+			return reclaimed, err
+		}
+		reclaimed += n
+	}
+	return reclaimed, nil
+}
+
+func (s *Store) compactSegment(path string, stable uint64) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	var keep []*wal.Record
+	dropped := 0
+	d := wal.NewReader(f)
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return 0, fmt.Errorf("ckpt: compacting %s: %w", path, err)
+		}
+		if rec.EndTS <= stable {
+			dropped++
+			continue
+		}
+		keep = append(keep, rec)
+	}
+	f.Close()
+	if dropped == 0 {
+		return 0, nil
+	}
+	if len(keep) == 0 {
+		if err := os.Remove(path); err != nil {
+			return 0, err
+		}
+		return fi.Size(), nil
+	}
+	tmp := path + ".tmp"
+	out, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	buf := wal.SegmentHeader()
+	for _, rec := range keep {
+		buf = wal.EncodeRecord(buf, rec)
+	}
+	if _, err := out.Write(buf); err != nil {
+		out.Close()
+		return 0, err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return 0, err
+	}
+	if err := out.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return fi.Size() - int64(len(buf)), nil
+}
+
+// nextCkptSeq reserves the next checkpoint sequence number.
+func (s *Store) nextCkptSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ckptSeq++
+	return s.ckptSeq
+}
+
+// faultFile routes a checkpoint file's writes through the store's
+// freeze/fault state so a crash can land mid-partition.
+type faultFile struct {
+	s     *Store
+	f     *os.File
+	point string
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if w.s.frozen.Load() {
+		return len(p), nil
+	}
+	if w.s.faults.Fire(w.point) {
+		n := len(p) / 2
+		if n == 0 && len(p) > 0 {
+			n = 1
+		}
+		w.f.Write(p[:n])
+		w.f.Sync()
+		w.s.Freeze()
+		return len(p), nil
+	}
+	return w.f.Write(p)
+}
+
+// publishCheckpoint writes the manifest into the checkpoint directory and
+// flips CURRENT to it. Both steps are write-temp-then-rename, so CURRENT
+// always names a directory whose manifest is complete; the FaultManifest
+// point freezes between the two renames, leaving a complete but unpublished
+// checkpoint.
+func (s *Store) publishCheckpoint(dirName string, man *Manifest) error {
+	if s.frozen.Load() {
+		return ErrFrozen
+	}
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	manPath := filepath.Join(s.dir, dirName, "manifest.json")
+	if err := writeFileSync(manPath, raw); err != nil {
+		return err
+	}
+	if s.faults.Fire(FaultManifest) {
+		s.Freeze()
+		return ErrFrozen
+	}
+	if s.frozen.Load() {
+		return ErrFrozen
+	}
+	return writeFileSync(filepath.Join(s.dir, "CURRENT"), []byte(dirName+"\n"))
+}
+
+// writeFileSync writes data to path atomically: temp file, fsync, rename.
+func writeFileSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LatestManifest returns the most recently published checkpoint's manifest
+// and directory path, or (nil, "", nil) when no checkpoint has been
+// published.
+func (s *Store) LatestManifest() (*Manifest, string, error) {
+	raw, err := os.ReadFile(filepath.Join(s.dir, "CURRENT"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "", nil
+		}
+		return nil, "", err
+	}
+	dirName := strings.TrimSpace(string(raw))
+	dir := filepath.Join(s.dir, dirName)
+	manRaw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, "", fmt.Errorf("ckpt: CURRENT names %s but its manifest is unreadable: %w", dirName, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(manRaw, &man); err != nil {
+		return nil, "", fmt.Errorf("ckpt: manifest in %s: %w", dirName, err)
+	}
+	return &man, dir, nil
+}

@@ -207,6 +207,43 @@ func (db *Database) MV() *mv.Engine { return db.mvEng }
 // SV exposes the underlying single-version engine (nil for MV databases).
 func (db *Database) SV() *sv.Engine { return db.svEng }
 
+// WAL exposes the database's redo log, or nil when logging is disabled. The
+// checkpointer uses it to flush and fence the log around a checkpoint.
+func (db *Database) WAL() *wal.Log { return db.log }
+
+// Capture streams a transactionally consistent snapshot of the given tables
+// to fn and returns the stable timestamp S: the snapshot contains the
+// effects of exactly the committed transactions with end timestamp (1V: end
+// sequence) at most S. This is the engine-neutral checkpoint scan — the
+// multiversion engines capture versions visible at the GC watermark under a
+// reader pin, and the single-version engine runs a shared-lock capture
+// transaction (see mv.Engine.Capture and sv.Engine.Capture for the two
+// consistency arguments). The payload passed to fn is valid only during the
+// callback. On the 1V engine a capture can time out against concurrent
+// writers; callers retry.
+func (db *Database) Capture(tables []*Table, fn func(t *Table, key uint64, payload []byte) error) (uint64, error) {
+	if db.mvEng != nil {
+		byEngine := make(map[*storage.Table]*Table, len(tables))
+		mvTables := make([]*storage.Table, len(tables))
+		for i, t := range tables {
+			byEngine[t.mvT] = t
+			mvTables[i] = t.mvT
+		}
+		return db.mvEng.Capture(mvTables, func(st *storage.Table, key uint64, payload []byte) error {
+			return fn(byEngine[st], key, payload)
+		})
+	}
+	byEngine := make(map[*sv.Table]*Table, len(tables))
+	svTables := make([]*sv.Table, len(tables))
+	for i, t := range tables {
+		byEngine[t.svT] = t
+		svTables[i] = t.svT
+	}
+	return db.svEng.Capture(svTables, func(st *sv.Table, key uint64, payload []byte) error {
+		return fn(byEngine[st], key, payload)
+	})
+}
+
 // CollectGarbage runs a bounded GC round on MV databases; it reports the
 // number of versions reclaimed (always 0 for 1V: updates are in place).
 func (db *Database) CollectGarbage(limit int) int {

@@ -1,0 +1,77 @@
+package keyenc
+
+// Range is one inclusive key interval [Lo, Hi] of a partitioning.
+type Range struct {
+	Lo, Hi uint64
+}
+
+// Ranges splits the inclusive key interval [lo, hi] into n contiguous,
+// near-equal subranges covering it exactly. It is the checkpoint partitioning
+// primitive: streaming a table's rows into per-range files lets recovery
+// restore partitions in parallel, and an ordered index whose keys come from a
+// Layout partitions on encoded-tuple order, so each partition is itself a
+// contiguous tuple range. n is clamped to the number of distinct keys; lo > hi
+// yields nil.
+func Ranges(lo, hi uint64, n int) []Range {
+	if lo > hi || n < 1 {
+		if lo > hi {
+			return nil
+		}
+		n = 1
+	}
+	span := hi - lo // inclusive span minus one; hi-lo+1 can overflow
+	if span != ^uint64(0) && uint64(n) > span+1 {
+		n = int(span + 1)
+	}
+	out := make([]Range, 0, n)
+	step := span/uint64(n) + 1 // ceil((span+1)/n) without overflow
+	cur := lo
+	for i := 0; i < n; i++ {
+		r := Range{Lo: cur}
+		if i == n-1 || hi-cur < step {
+			r.Hi = hi
+			out = append(out, r)
+			break
+		}
+		r.Hi = cur + step - 1
+		out = append(out, r)
+		cur = r.Hi + 1
+	}
+	return out
+}
+
+// PartitionOf returns the index of the partition of parts whose range covers
+// key, clamping keys outside the covered interval to the nearest end. parts
+// must be non-empty, contiguous and ascending (as built by Ranges).
+func PartitionOf(parts []Range, key uint64) int {
+	lo, hi := 0, len(parts)-1
+	if key <= parts[0].Hi {
+		return 0
+	}
+	if key >= parts[hi].Lo {
+		return hi
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		switch {
+		case key < parts[mid].Lo:
+			hi = mid - 1
+		case key > parts[mid].Hi:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return lo
+}
+
+// KeyspaceMax returns the largest encoded key the layout can produce: all
+// fields at their maxima. Checkpoint partitioning uses it as the default
+// upper bound for composite primary indexes, so partitions split the used
+// key space instead of the full 64-bit space.
+func (l *Layout) KeyspaceMax() uint64 {
+	if l.total == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << l.total) - 1
+}

@@ -1,0 +1,88 @@
+package keyenc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRangesCoverExactly(t *testing.T) {
+	cases := []struct {
+		lo, hi uint64
+		n      int
+	}{
+		{0, 99, 4},
+		{0, 99, 7},
+		{10, 10, 3},
+		{0, ^uint64(0), 8},
+		{5, 6, 4},
+		{0, 2, 1},
+	}
+	for _, c := range cases {
+		parts := Ranges(c.lo, c.hi, c.n)
+		if len(parts) == 0 {
+			t.Fatalf("Ranges(%d,%d,%d) empty", c.lo, c.hi, c.n)
+		}
+		if parts[0].Lo != c.lo || parts[len(parts)-1].Hi != c.hi {
+			t.Fatalf("Ranges(%d,%d,%d) = %v: ends wrong", c.lo, c.hi, c.n, parts)
+		}
+		for i := 1; i < len(parts); i++ {
+			if parts[i].Lo != parts[i-1].Hi+1 {
+				t.Fatalf("Ranges(%d,%d,%d) = %v: gap at %d", c.lo, c.hi, c.n, parts, i)
+			}
+		}
+		if len(parts) > c.n {
+			t.Fatalf("Ranges(%d,%d,%d): %d parts > n", c.lo, c.hi, c.n, len(parts))
+		}
+	}
+	if Ranges(5, 4, 3) != nil {
+		t.Fatal("inverted range should be nil")
+	}
+}
+
+func TestPartitionOf(t *testing.T) {
+	parts := Ranges(100, 999, 5)
+	for key := uint64(100); key <= 999; key += 13 {
+		p := PartitionOf(parts, key)
+		if key < parts[p].Lo || key > parts[p].Hi {
+			t.Fatalf("key %d assigned to %v", key, parts[p])
+		}
+	}
+	// Out-of-range keys clamp to the nearest partition.
+	if PartitionOf(parts, 5) != 0 {
+		t.Fatal("low key should clamp to first partition")
+	}
+	if PartitionOf(parts, 5000) != len(parts)-1 {
+		t.Fatal("high key should clamp to last partition")
+	}
+}
+
+func TestPartitionOfQuick(t *testing.T) {
+	f := func(lo, hi, key uint64, n uint8) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		parts := Ranges(lo, hi, int(n%16)+1)
+		p := PartitionOf(parts, key)
+		if p < 0 || p >= len(parts) {
+			return false
+		}
+		if key >= lo && key <= hi {
+			return key >= parts[p].Lo && key <= parts[p].Hi
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyspaceMax(t *testing.T) {
+	l := MustLayout(Field{Name: "a", Bits: 16}, Field{Name: "b", Bits: 8})
+	if got := l.KeyspaceMax(); got != (1<<24)-1 {
+		t.Fatalf("KeyspaceMax = %d", got)
+	}
+	full := MustLayout(Field{Name: "k", Bits: 64})
+	if got := full.KeyspaceMax(); got != ^uint64(0) {
+		t.Fatalf("full-width KeyspaceMax = %d", got)
+	}
+}

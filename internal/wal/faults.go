@@ -1,0 +1,57 @@
+package wal
+
+import "sync"
+
+// Faults is a crash-injection registry: named fault points armed with a
+// countdown. Durability code (the log sink, the checkpoint writer) calls
+// Fire(point) at each crash-relevant step; the call reports true exactly once,
+// when the armed countdown for that point reaches zero. Production paths pass
+// a nil *Faults, which never fires, so injection costs one nil check.
+//
+// The registry lives in package wal because the log sink is the innermost
+// fault site; internal/ckpt shares the same registry for its checkpoint-side
+// points, so one harness can seed a whole crash scenario.
+type Faults struct {
+	mu   sync.Mutex
+	arms map[string]int
+}
+
+// NewFaults returns an empty registry with every point disarmed.
+func NewFaults() *Faults {
+	return &Faults{arms: make(map[string]int)}
+}
+
+// Arm schedules fault point to fire on its (after+1)-th Fire call. Re-arming
+// replaces any previous schedule for the point.
+func (f *Faults) Arm(point string, after int) {
+	f.mu.Lock()
+	f.arms[point] = after
+	f.mu.Unlock()
+}
+
+// Disarm removes any schedule for point.
+func (f *Faults) Disarm(point string) {
+	f.mu.Lock()
+	delete(f.arms, point)
+	f.mu.Unlock()
+}
+
+// Fire records one hit of the fault point and reports whether the fault
+// triggers now. A nil registry never fires.
+func (f *Faults) Fire(point string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, armed := f.arms[point]
+	if !armed {
+		return false
+	}
+	if n > 0 {
+		f.arms[point] = n - 1
+		return false
+	}
+	delete(f.arms, point)
+	return true
+}

@@ -129,13 +129,22 @@ func Open(cfg Config) *Log {
 // record's batch has reached the sink.
 func (l *Log) Append(r *Record) error {
 	c := l.bufPool.Get().(*chunk)
-	c.buf = appendRecord(c.buf[:0], r)
+	c.buf = EncodeRecord(c.buf[:0], r)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		c.done = nil
 		l.bufPool.Put(c)
 		return ErrClosed
+	}
+	if err := l.err; err != nil {
+		// The sink failed: the log is no longer durable, so acknowledging
+		// further appends would be a lie. Surface the first flush error from
+		// every subsequent Append (commit paths treat this as an abort).
+		l.mu.Unlock()
+		c.done = nil
+		l.bufPool.Put(c)
+		return err
 	}
 	l.appended++
 	l.mu.Unlock()

@@ -3,6 +3,7 @@ package wal
 import (
 	"bytes"
 	"errors"
+	"io"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -153,14 +154,158 @@ func TestCorruptionDetected(t *testing.T) {
 	}
 }
 
-func TestTruncationDetected(t *testing.T) {
+func TestTornTailTolerated(t *testing.T) {
 	var buf bytes.Buffer
 	l := Open(Config{Sink: &buf, Synchronous: true, BatchSize: 1})
 	l.Append(testRecord(1, 1))
+	l.Append(testRecord(2, 2))
 	l.Close()
 	b := buf.Bytes()
-	if _, err := ReadAll(bytes.NewReader(b[:len(b)-3])); !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("err = %v, want ErrCorrupt", err)
+	// Tear the final record mid-frame: a crashed sink write. The reader must
+	// return the well-formed prefix and account for the dangling bytes.
+	for cut := 1; cut < 8; cut++ {
+		torn := b[:len(b)-cut]
+		recs, err := ReadAll(bytes.NewReader(torn))
+		if err != nil {
+			t.Fatalf("cut %d: err = %v, want torn tail tolerated", cut, err)
+		}
+		if len(recs) != 1 || recs[0].TxID != 1 {
+			t.Fatalf("cut %d: recs = %+v, want exactly record 1", cut, recs)
+		}
+		d := NewReader(bytes.NewReader(torn))
+		n := 0
+		for {
+			if _, err := d.Next(); err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("cut %d: Next err = %v", cut, err)
+				}
+				break
+			}
+			n++
+		}
+		if n != 1 {
+			t.Fatalf("cut %d: streamed %d records, want 1", cut, n)
+		}
+		if want := int64(len(b)/2 - cut); d.Truncated() != want {
+			t.Fatalf("cut %d: truncated = %d, want %d", cut, d.Truncated(), want)
+		}
+	}
+	// A tear inside the 4-byte length prefix is tolerated too.
+	half := b[:len(b)/2+2]
+	recs, err := ReadAll(bytes.NewReader(half))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("prefix tear: recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestSegmentHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(SegmentHeader())
+	buf.Write(EncodeRecord(nil, testRecord(7, 9)))
+	d := NewReader(bytes.NewReader(buf.Bytes()))
+	rec, err := d.Next()
+	if err != nil || rec.TxID != 7 || rec.EndTS != 9 {
+		t.Fatalf("rec=%+v err=%v", rec, err)
+	}
+	if d.Version() != SegmentVersion {
+		t.Fatalf("version = %d, want %d", d.Version(), SegmentVersion)
+	}
+	if _, err := d.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+
+	// Legacy streams carry no header and must still decode (version 0).
+	legacy := NewReader(bytes.NewReader(EncodeRecord(nil, testRecord(3, 4))))
+	rec, err = legacy.Next()
+	if err != nil || rec.TxID != 3 {
+		t.Fatalf("legacy rec=%+v err=%v", rec, err)
+	}
+	if legacy.Version() != 0 {
+		t.Fatalf("legacy version = %d, want 0", legacy.Version())
+	}
+
+	// A header-only segment is a clean empty log.
+	empty := NewReader(bytes.NewReader(SegmentHeader()))
+	if _, err := empty.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty segment: want EOF, got %v", err)
+	}
+	if empty.Truncated() != 0 {
+		t.Fatalf("empty segment truncated = %d", empty.Truncated())
+	}
+}
+
+// errSink fails every write after the first n bytes worth of calls.
+type errSink struct {
+	mu    sync.Mutex
+	fails bool
+	err   error
+}
+
+func (s *errSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fails {
+		return 0, s.err
+	}
+	return len(p), nil
+}
+
+func TestFlusherErrorPropagates(t *testing.T) {
+	sink := &errSink{err: errors.New("disk gone")}
+	l := Open(Config{Sink: sink, BatchSize: 1, FlushInterval: time.Millisecond})
+	if err := l.Append(testRecord(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	sink.fails = true
+	sink.mu.Unlock()
+	if err := l.Append(testRecord(2, 2)); err != nil {
+		t.Fatal(err) // queued before the failure is observed
+	}
+	if err := l.Flush(); err == nil {
+		t.Fatal("Flush reported success after sink failure")
+	}
+	// The stored error must now surface from asynchronous Appends too: the
+	// log can no longer promise durability, so acks would be lies.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if err := l.Append(testRecord(3, 3)); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async Append kept succeeding after sink failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err == nil {
+		t.Fatal("Close reported success after sink failure")
+	}
+}
+
+func TestFaultsCountdown(t *testing.T) {
+	f := NewFaults()
+	f.Arm("p", 2)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if f.Fire("p") {
+			fired++
+			if i != 2 {
+				t.Fatalf("fired on hit %d, want 2", i)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly once", fired)
+	}
+	if f.Fire("unarmed") {
+		t.Fatal("unarmed point fired")
+	}
+	var nilF *Faults
+	if nilF.Fire("p") {
+		t.Fatal("nil registry fired")
 	}
 }
 
@@ -197,7 +342,7 @@ func TestQuickRoundTrip(t *testing.T) {
 			Key:     key,
 			Payload: payload,
 		}}}
-		buf := appendRecord(nil, rec)
+		buf := EncodeRecord(nil, rec)
 		got, err := ReadAll(bytes.NewReader(buf))
 		if err != nil || len(got) != 1 {
 			return false
