@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -69,6 +70,29 @@ type File struct {
 	// Recovery compares cold-start wall time from the log alone against a
 	// checkpoint plus log tail over the same history (see measureRecovery).
 	Recovery *RecoveryResult `json:"recovery,omitempty"`
+	// SyncCommit compares commit throughput across the three durability
+	// levels against a real on-disk log store, recording how many commits
+	// each group-commit fsync amortizes (see measureSyncCommit).
+	SyncCommit *SyncCommitResult `json:"sync_commit,omitempty"`
+}
+
+// SyncCommitLevel is one durability level's measurement.
+type SyncCommitLevel struct {
+	TxPerSec float64 `json:"tx_per_sec"`
+	Commits  uint64  `json:"commits"`
+	Batches  uint64  `json:"batches"`
+	Fsyncs   uint64  `json:"fsyncs"`
+	// CommitsPerFsync is records appended per fsync issued — the group-commit
+	// amortization that keeps Fsync durability affordable. Zero at levels
+	// that never fsync.
+	CommitsPerFsync float64 `json:"commits_per_fsync,omitempty"`
+}
+
+// SyncCommitResult is the synchronous-commit scenario's measurement: the
+// same update workload acknowledged at each durability level.
+type SyncCommitResult struct {
+	Workers int                        `json:"workers"`
+	Levels  map[string]SyncCommitLevel `json:"levels"`
 }
 
 // RecoveryResult is the recovery scenario's measurement: the same workload
@@ -588,6 +612,108 @@ func measureRecovery() (*RecoveryResult, error) {
 	return res, nil
 }
 
+// measureSyncCommit runs the same single-update workload for d at each
+// durability level — Async (acknowledge on enqueue), Flush (after the batch
+// write) and Fsync (after the batch fsync) — against a real on-disk log
+// store, so the fsync cost and its group-commit amortization are measured,
+// not simulated.
+func measureSyncCommit(d time.Duration) (*SyncCommitResult, error) {
+	const rows = rowsSmall
+	// Group commit amortizes the fsync across *concurrent committers* —
+	// goroutines blocked on the same batch — not across CPUs, so the worker
+	// count floors well above GOMAXPROCS to give the flusher batches to form.
+	res := &SyncCommitResult{
+		Workers: max(16, runtime.GOMAXPROCS(0)),
+		Levels:  make(map[string]SyncCommitLevel, 3),
+	}
+	levels := []struct {
+		name string
+		lvl  core.Durability
+	}{
+		{"async", core.DurabilityAsync},
+		{"flush", core.DurabilityFlush},
+		{"fsync", core.DurabilityFsync},
+	}
+	for _, l := range levels {
+		dir, err := os.MkdirTemp("", "benchjson-synccommit-*")
+		if err != nil {
+			return nil, err
+		}
+		store, err := ckpt.OpenStore(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		db, err := core.Open(core.Config{
+			Scheme:      core.MVOptimistic,
+			LogSink:     store,
+			Durability:  l.lvl,
+			LockTimeout: 10 * time.Millisecond,
+		})
+		if err != nil {
+			store.Close()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		tbl, err := workload.Table(db, rows)
+		if err != nil {
+			db.Close()
+			store.Close()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		workload.Load(db, tbl, rows)
+
+		var commits atomic.Uint64
+		var firstErr atomic.Value
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < res.Workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(id)*7919 + 3))
+				for time.Since(start) < d {
+					k := rng.Uint64() % rows
+					tx := db.Begin()
+					if _, err := tx.UpdateWhere(tbl, 0, k, nil, func(old []byte) []byte {
+						return workload.Row(k, rng.Uint64())
+					}); err != nil {
+						tx.Abort()
+						continue
+					}
+					if err := tx.Commit(); err == nil {
+						commits.Add(1)
+					} else if db.Degraded() != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		st := db.LogStats()
+		db.Close()
+		store.Close()
+		os.RemoveAll(dir)
+		if err, _ := firstErr.Load().(error); err != nil {
+			return nil, fmt.Errorf("sync-commit %s: %w", l.name, err)
+		}
+		lv := SyncCommitLevel{
+			TxPerSec: float64(commits.Load()) / elapsed.Seconds(),
+			Commits:  commits.Load(),
+			Batches:  st.Batches,
+			Fsyncs:   st.Syncs,
+		}
+		if st.Syncs > 0 {
+			lv.CommitsPerFsync = float64(st.Appended) / float64(st.Syncs)
+		}
+		res.Levels[l.name] = lv
+	}
+	return res, nil
+}
+
 func toResult(r testing.BenchmarkResult) Result {
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
 	tps := 0.0
@@ -708,6 +834,21 @@ func main() {
 			recRes.LogRecords, recRes.LogOnlyMs, recRes.CheckpointMs, recRes.SpeedupPct, recRes.RowsRestored, recRes.TailRecords)
 	}
 
+	scDur, scDurErr := time.ParseDuration(*benchtime)
+	if scDurErr != nil || scDur <= 0 {
+		scDur = time.Second
+	}
+	fmt.Fprintln(os.Stderr, "measuring synchronous commit: async vs flush vs fsync...")
+	scRes, scErr := measureSyncCommit(scDur)
+	if scErr == nil {
+		file.SyncCommit = scRes
+		for _, name := range []string{"async", "flush", "fsync"} {
+			lv := scRes.Levels[name]
+			fmt.Fprintf(os.Stderr, "  %s: %.0f tx/s, %d commits, %d batches, %d fsyncs (%.1f commits/fsync)\n",
+				name, lv.TxPerSec, lv.Commits, lv.Batches, lv.Fsyncs, lv.CommitsPerFsync)
+		}
+	}
+
 	// Write the results before acting on any failure: a long benchmark run's
 	// data must survive a -check violation so there is something to diagnose
 	// the regression from.
@@ -734,6 +875,10 @@ func main() {
 	}
 	if delta1vErr != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", delta1vErr)
+		os.Exit(1)
+	}
+	if scErr != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", scErr)
 		os.Exit(1)
 	}
 	if *check && delta != 0 {

@@ -1,13 +1,16 @@
 package ckpt
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/keyenc"
+	"repro/internal/wal"
 )
 
 // TableSpec tells the checkpointer how to partition one table's snapshot.
@@ -66,6 +69,64 @@ type Checkpointer struct {
 
 	stop chan struct{}
 	done chan struct{}
+
+	hmu    sync.Mutex
+	health Health
+}
+
+// Health is the background checkpointer's status, surfaced instead of dying
+// silently: transient capture failures are retried with bounded backoff and
+// counted here; a latched sink failure (the store can no longer promise
+// durability) is Fatal and stops further attempts.
+type Health struct {
+	// Runs counts completed Run attempts by the background loop.
+	Runs uint64
+	// Failures counts attempts that returned an error.
+	Failures uint64
+	// Consecutive counts failures since the last success; it drives the
+	// backoff and resets to zero on success.
+	Consecutive int
+	// LastErr is the most recent attempt's error, nil after a success.
+	LastErr error
+	// Fatal, once non-nil, means checkpointing has permanently stopped:
+	// the store latched a write/fsync failure or froze at a crash point.
+	Fatal error
+	// LastStableTS is the stable timestamp of the last published checkpoint.
+	LastStableTS uint64
+	// LastSuccess is when that checkpoint published.
+	LastSuccess time.Time
+}
+
+// Health returns a snapshot of the background loop's status.
+func (c *Checkpointer) Health() Health {
+	c.hmu.Lock()
+	defer c.hmu.Unlock()
+	return c.health
+}
+
+// record folds one background Run outcome into the health snapshot.
+func (c *Checkpointer) record(stats Stats, err error) {
+	c.hmu.Lock()
+	defer c.hmu.Unlock()
+	c.health.Runs++
+	if err == nil {
+		c.health.Consecutive = 0
+		c.health.LastErr = nil
+		c.health.LastStableTS = stats.StableTS
+		c.health.LastSuccess = time.Now()
+		return
+	}
+	c.health.Failures++
+	c.health.Consecutive++
+	c.health.LastErr = err
+	// A latched store failure or an injected freeze/power loss cannot heal:
+	// latch it as fatal so the loop stops burning capture attempts against a
+	// sink that will never accept them.
+	if serr := c.store.Err(); serr != nil {
+		c.health.Fatal = serr
+	} else if errors.Is(err, ErrFrozen) || errors.Is(err, wal.ErrCrashed) {
+		c.health.Fatal = err
+	}
 }
 
 // New returns a Checkpointer over the given tables.
@@ -216,22 +277,40 @@ func (c *Checkpointer) Run() (Stats, error) {
 }
 
 // Start launches a background loop checkpointing every interval until Stop.
+// Transient failures (capture lock timeouts, partition I/O that may clear)
+// are retried with exponential backoff bounded at 16× the interval; a fatal
+// condition (latched sink failure, injected freeze or power loss) stops
+// further attempts and is reported by Health — the loop never dies silently
+// and never hammers a dead disk.
 func (c *Checkpointer) Start(interval time.Duration) {
 	c.stop = make(chan struct{})
 	c.done = make(chan struct{})
 	go func() {
 		defer close(c.done)
-		t := time.NewTicker(interval)
-		defer t.Stop()
+		maxWait := 16 * interval
+		wait := interval
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
 		for {
 			select {
 			case <-c.stop:
 				return
-			case <-t.C:
-				// Crash-injected freezes surface as ErrFrozen; the loop keeps
-				// ticking harmlessly until Stop (the store discards writes).
-				c.Run()
+			case <-timer.C:
 			}
+			if c.Health().Fatal != nil {
+				// Nothing left to retry; stay alive (Health keeps serving)
+				// until Stop.
+				timer.Reset(maxWait)
+				continue
+			}
+			stats, err := c.Run()
+			c.record(stats, err)
+			if err == nil {
+				wait = interval
+			} else {
+				wait = min(wait*2, maxWait)
+			}
+			timer.Reset(wait)
 		}
 	}()
 }

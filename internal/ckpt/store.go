@@ -14,6 +14,7 @@ package ckpt
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"repro/internal/wal"
 )
@@ -49,30 +51,55 @@ const (
 // injected crash point.
 var ErrFrozen = fmt.Errorf("ckpt: store frozen (simulated crash)")
 
+// StoreOptions selects how live segments are opened.
+type StoreOptions struct {
+	// ODSync opens live segments with O_DSYNC: every Write is synchronous,
+	// so the per-batch Sync hook becomes a no-op. The alternative to
+	// explicit group-commit fsync, at one synchronous I/O per batch either
+	// way.
+	ODSync bool
+	// Faults, when non-nil, wraps live segments in a wal.FaultFile driven by
+	// this registry: the byte-granularity fault model (write errors, short
+	// writes, ENOSPC, fsync errors, power loss) used by the sync-commit
+	// crash suites. Store-level freeze faults (SetFaults) are independent
+	// and may share the same registry.
+	Faults *wal.Faults
+}
+
 // Store is a durability directory: numbered write-ahead-log segments (the
 // live one receives group-commit batches via Write, making the store a
 // core.Config.LogSink), checkpoint directories, and a CURRENT pointer naming
 // the latest published checkpoint.
 type Store struct {
 	dir    string
+	opts   StoreOptions
 	faults *wal.Faults
 
-	mu      sync.Mutex
-	frozen  atomic.Bool
-	seg     *os.File
-	segPath string
-	segSeq  uint64
-	ckptSeq uint64
+	mu        sync.Mutex
+	frozen    atomic.Bool
+	err       error // first latched write/fsync failure; never cleared
+	seg       wal.File
+	segFault  *wal.FaultFile // seg's fault wrapper when opts.Faults != nil
+	segPath   string
+	segSize   int64 // bytes successfully handed to the live segment
+	segSynced int64 // live-segment fsync barrier (bytes known durable)
+	segSeq    uint64
+	ckptSeq   uint64
 }
 
 // OpenStore opens (creating if needed) a store rooted at dir and starts a
 // fresh live segment after any existing ones — reopening after a crash never
 // appends to a possibly-torn segment.
 func OpenStore(dir string) (*Store, error) {
+	return OpenStoreWith(dir, StoreOptions{})
+}
+
+// OpenStoreWith is OpenStore with explicit segment options.
+func OpenStoreWith(dir string, opts StoreOptions) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir}
+	s := &Store{dir: dir, opts: opts}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -101,15 +128,28 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) openSegmentLocked() error {
 	s.segSeq++
 	s.segPath = filepath.Join(s.dir, fmt.Sprintf("wal-%06d.log", s.segSeq))
-	f, err := os.OpenFile(s.segPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	flags := os.O_CREATE | os.O_EXCL | os.O_WRONLY
+	if s.opts.ODSync {
+		flags |= syscall.O_DSYNC
+	}
+	f, err := os.OpenFile(s.segPath, flags, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(wal.SegmentHeader()); err != nil {
-		f.Close()
+	var seg wal.File = f
+	var segFault *wal.FaultFile
+	if s.opts.Faults != nil {
+		segFault = wal.NewFaultFile(f, s.opts.Faults)
+		seg = segFault
+	}
+	if _, err := seg.Write(wal.SegmentHeader()); err != nil {
+		seg.Close()
 		return err
 	}
-	s.seg = f
+	s.seg = seg
+	s.segFault = segFault
+	s.segSize = int64(len(wal.SegmentHeader()))
+	s.segSynced = s.segSize
 	return nil
 }
 
@@ -124,27 +164,124 @@ func (s *Store) Write(p []byte) (int, error) {
 	if s.frozen.Load() {
 		return len(p), nil
 	}
+	if err := s.err; err != nil {
+		return 0, err
+	}
 	if s.faults.Fire(FaultWALTear) {
 		n := len(p) / 2
 		if n == 0 && len(p) > 0 {
 			n = 1
 		}
 		s.seg.Write(p[:n])
-		s.seg.Sync()
+		s.latchLocked(s.seg.Sync())
 		s.frozen.Store(true)
 		return len(p), nil
 	}
 	if s.faults.Fire(FaultWALFreeze) {
 		s.seg.Write(p)
-		s.seg.Sync()
+		s.latchLocked(s.seg.Sync())
 		s.frozen.Store(true)
 		return len(p), nil
 	}
+	before := s.segSize
 	n, err := s.seg.Write(p)
+	s.segSize += int64(n)
 	if err != nil {
+		s.latchLocked(err)
+		// A batch that fails partway leaves whole frames of transactions on
+		// disk whose commits were all just refused — recovery would replay
+		// them even though the engine aborted them and told the clients so.
+		// Roll the segment back to the batch boundary: the store is latched,
+		// nothing writes after this, and the disk again holds exactly the
+		// acknowledged records. A power loss is different — the process
+		// modelled here is dead and cleans up nothing, so the torn tail
+		// stays for recovery's torn-tail reader (and markers) to resolve.
+		if !errors.Is(err, wal.ErrCrashed) {
+			s.rollbackLocked(before)
+		}
 		return n, err
 	}
+	if s.opts.ODSync {
+		s.segSynced = s.segSize // O_DSYNC writes land durable
+	}
 	return len(p), nil
+}
+
+// Sync forces the live segment's bytes to stable storage — the per-batch
+// hook wal.Log calls at Fsync durability. A latched failure is returned
+// without touching the file again: after a failed fsync the kernel may have
+// dropped the dirty pages and cleared its error state, so a retry would
+// falsely succeed (fsyncgate). With O_DSYNC segments every write is already
+// synchronous and Sync is a no-op. A frozen store reports success, matching
+// its Write contract (the modelled process is dead; nothing it observed
+// after the crash point happened).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen.Load() {
+		return nil
+	}
+	if err := s.err; err != nil {
+		return err
+	}
+	if s.opts.ODSync || s.seg == nil {
+		s.segSynced = s.segSize
+		return nil
+	}
+	err := s.seg.Sync()
+	s.latchLocked(err)
+	if err == nil {
+		s.segSynced = s.segSize
+	} else if !errors.Is(err, wal.ErrCrashed) {
+		// The kernel reported the batch's pages lost: the commits in it were
+		// refused, so drop the suspect bytes back to the last barrier rather
+		// than leave refused records for recovery to resurrect. Best effort —
+		// the store is latched either way.
+		s.rollbackLocked(s.segSynced)
+	}
+	return err
+}
+
+// rollbackLocked shrinks the live segment to off, dropping the bytes of a
+// refused batch. It only ever shrinks: if the file already sits at or below
+// off (a failing device may have dropped more than the batch — the fsyncgate
+// model truncates to its own barrier), extending it would manufacture a
+// zero-filled hole that reads as corruption. Callers hold s.mu.
+func (s *Store) rollbackLocked(off int64) {
+	fi, err := os.Stat(s.segPath)
+	if err != nil || fi.Size() <= off {
+		return
+	}
+	if terr := os.Truncate(s.segPath, off); terr == nil {
+		s.segSize = off
+	}
+}
+
+// latchLocked records the first durability failure; it is never cleared.
+// Callers hold s.mu.
+func (s *Store) latchLocked(err error) {
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// latch is latchLocked for callers not holding s.mu.
+func (s *Store) latch(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.latchLocked(err)
+	s.mu.Unlock()
+}
+
+// Err returns the first latched write or fsync failure, or nil. A non-nil
+// Err means the store can no longer promise durability; the checkpointer's
+// health API surfaces it.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 // Rotate seals the live segment (fsync + close) and starts the next one.
@@ -157,13 +294,23 @@ func (s *Store) Rotate() error {
 	if s.frozen.Load() {
 		return nil
 	}
+	if err := s.err; err != nil {
+		return err
+	}
 	if err := s.seg.Sync(); err != nil {
+		s.latchLocked(err)
 		return err
 	}
 	if err := s.seg.Close(); err != nil {
 		return err
 	}
-	return s.openSegmentLocked()
+	if err := s.openSegmentLocked(); err != nil {
+		// The old segment is sealed but the next one never opened: the store
+		// has no live segment to write to, which is fatal, not transient.
+		s.latchLocked(err)
+		return err
+	}
+	return nil
 }
 
 // Freeze stops all future writes, modelling the crash instant. Load workers
@@ -176,19 +323,41 @@ func (s *Store) Frozen() bool { return s.frozen.Load() }
 
 // Close fsyncs and closes the live segment. A frozen store's segment is
 // closed without syncing (the sync would model I/O the dead process never
-// issued; the bytes already written remain readable).
+// issued; the bytes already written remain readable). A sync failure at
+// close is latched and reported like any other — silently dropping it is
+// the fsyncgate mistake.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.seg == nil {
 		return nil
 	}
-	if !s.frozen.Load() {
-		s.seg.Sync()
+	if !s.frozen.Load() && s.err == nil {
+		s.latchLocked(s.seg.Sync())
 	}
 	err := s.seg.Close()
 	s.seg = nil
+	s.segFault = nil
+	if err == nil {
+		err = s.err
+	}
 	return err
+}
+
+// Crash simulates a power loss on the live segment: at most keep bytes past
+// the last fsync barrier survive, the rest are discarded, and every later
+// segment operation fails with wal.ErrCrashed. Only available on stores
+// opened with StoreOptions.Faults (the byte-granularity crash model); it
+// replaces Freeze for the sync-commit suites, where an acknowledgement must
+// imply the bytes sit at or below the barrier.
+func (s *Store) Crash(keep int64) error {
+	s.mu.Lock()
+	ff := s.segFault
+	s.mu.Unlock()
+	if ff == nil {
+		return fmt.Errorf("ckpt: Crash requires StoreOptions.Faults")
+	}
+	return ff.Crash(keep)
 }
 
 // ChopTail truncates the live segment by n bytes: the "drop tail bytes"
@@ -346,7 +515,7 @@ func (w *faultFile) Write(p []byte) (int, error) {
 			n = 1
 		}
 		w.f.Write(p[:n])
-		w.f.Sync()
+		w.s.latch(w.f.Sync())
 		w.s.Freeze()
 		return len(p), nil
 	}

@@ -80,6 +80,21 @@ type TableSpec = storage.TableSpec
 // Pred is a residual scan predicate; nil matches everything.
 type Pred func(payload []byte) bool
 
+// Durability levels for commit acknowledgements, re-exported from wal.
+type Durability = wal.Durability
+
+const (
+	// DurabilityAsync acknowledges commits as soon as the redo record is
+	// queued for group commit (the paper's measurement configuration).
+	DurabilityAsync = wal.Async
+	// DurabilityFlush acknowledges after the record's batch reached the log
+	// sink; survives a process kill, not a power loss.
+	DurabilityFlush = wal.Flush
+	// DurabilityFsync acknowledges after the batch's per-group fsync; the
+	// only level whose acknowledgement survives power loss.
+	DurabilityFsync = wal.Fsync
+)
+
 // Config controls database construction.
 type Config struct {
 	// Scheme is the default concurrency control scheme for transactions.
@@ -87,7 +102,13 @@ type Config struct {
 	// LogSink, when non-nil, enables redo logging to the writer with
 	// asynchronous group commit (the paper's experimental configuration).
 	LogSink io.Writer
+	// Durability selects the commit acknowledgement level (default
+	// DurabilityAsync). DurabilityFsync requires a sink implementing
+	// wal.Syncer (ckpt.Store, *os.File); otherwise it behaves as Flush.
+	Durability Durability
 	// SyncCommit makes commits wait for their log batch to be flushed.
+	// Legacy equivalent of DurabilityFlush, honored when Durability is left
+	// at the default.
 	SyncCommit bool
 	// LogBatch is the group-commit batch size (default 256).
 	LogBatch int
@@ -142,6 +163,7 @@ func Open(cfg Config) (*Database, error) {
 	if cfg.LogSink != nil {
 		db.log = wal.Open(wal.Config{
 			Sink:        cfg.LogSink,
+			Durability:  cfg.Durability,
 			Synchronous: cfg.SyncCommit,
 			BatchSize:   cfg.LogBatch,
 		})
@@ -210,6 +232,20 @@ func (db *Database) SV() *sv.Engine { return db.svEng }
 // WAL exposes the database's redo log, or nil when logging is disabled. The
 // checkpointer uses it to flush and fence the log around a checkpoint.
 func (db *Database) WAL() *wal.Log { return db.log }
+
+// Degraded returns the latched log failure that flipped the database into
+// degraded read-only mode, or nil while healthy. A degraded database keeps
+// serving reads and read-only snapshots; new writes fail fast with
+// ErrDegraded, and the in-flight commit that hit the failure was aborted.
+// Degradation is permanent for the database's lifetime — recovery from a
+// disk fault means restarting from the log and checkpoints, not ignoring
+// the hole a failed fsync left.
+func (db *Database) Degraded() error {
+	if db.mvEng != nil {
+		return db.mvEng.Degraded()
+	}
+	return db.svEng.Degraded()
+}
 
 // Capture streams a transactionally consistent snapshot of the given tables
 // to fn and returns the stable timestamp S: the snapshot contains the
@@ -289,6 +325,17 @@ func (db *Database) Stats() Stats {
 	return Stats{Commits: s.Commits, Aborts: s.Aborts, LockTimeouts: s.LockTimeouts}
 }
 
+// LogStats returns the write-ahead log's activity counters — appended and
+// flushed records, batches, bytes, and fsyncs issued (the group-commit
+// amortization ratio is Appended/Syncs). Zero-valued when the database was
+// opened without a log sink.
+func (db *Database) LogStats() wal.LogStats {
+	if db.log == nil {
+		return wal.LogStats{}
+	}
+	return db.log.Stats()
+}
+
 // txOptions collects Begin options.
 type txOptions struct {
 	iso       Isolation
@@ -365,6 +412,10 @@ var ErrNotComposite = errors.New("core: index has no composite key layout")
 // ErrReadOnlyTx is returned when a mutation is attempted through a
 // read-only transaction.
 var ErrReadOnlyTx = mv.ErrReadOnlyTx
+
+// ErrDegraded is returned by write paths after a latched log failure flipped
+// the database into degraded read-only mode (see Database.Degraded).
+var ErrDegraded = wal.ErrDegraded
 
 // ErrTxDone is returned when operating on a transaction handle after Commit
 // or Abort has returned (handles are pooled; see Tx).

@@ -6,6 +6,7 @@
 package mv
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -178,6 +179,13 @@ type Engine struct {
 	lockFailures     atomic.Uint64
 	cascadingAborts  atomic.Uint64
 	speculativeReads atomic.Uint64
+
+	// degraded latches after a log append fails for any reason other than a
+	// clean shutdown: the engine can no longer promise durability, so new
+	// writes fail fast with ErrDegraded while reads keep serving.
+	degraded     atomic.Bool
+	degradeMu    sync.Mutex
+	degradeCause error
 }
 
 // deadTx is a finished transaction awaiting quiescence before reuse.
@@ -231,6 +239,33 @@ func NewEngine(cfg Config) *Engine {
 		e.det.Start()
 	}
 	return e
+}
+
+// degrade latches the engine into read-only mode after a log failure. A
+// clean log shutdown (wal.ErrClosed) is not a disk fault and does not
+// degrade: Close-then-write is a caller bug, not a durability event.
+func (e *Engine) degrade(err error) {
+	if err == nil || errors.Is(err, wal.ErrClosed) {
+		return
+	}
+	e.degradeMu.Lock()
+	if e.degradeCause == nil {
+		e.degradeCause = err
+	}
+	e.degradeMu.Unlock()
+	e.degraded.Store(true)
+}
+
+// Degraded returns the latched log failure that flipped the engine
+// read-only, or nil while the engine is healthy. While degraded, mutations
+// fail fast with ErrDegraded; reads and read-only snapshots keep serving.
+func (e *Engine) Degraded() error {
+	if !e.degraded.Load() {
+		return nil
+	}
+	e.degradeMu.Lock()
+	defer e.degradeMu.Unlock()
+	return e.degradeCause
 }
 
 // Close stops background workers and closes the log if one was attached.

@@ -1,6 +1,15 @@
 package mv
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/wal"
+)
+
+// ErrDegraded is returned by mutation entry points after a latched log
+// failure flipped the engine into degraded read-only mode. It aliases
+// wal.ErrDegraded so errors.Is matches across packages.
+var ErrDegraded = wal.ErrDegraded
 
 var (
 	// ErrTxDone is returned when operating on a committed or aborted

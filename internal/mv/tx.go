@@ -387,6 +387,9 @@ func (tx *Tx) Insert(t *storage.Table, payload []byte) error {
 	if tx.readOnly {
 		return ErrReadOnlyTx
 	}
+	if tx.e.degraded.Load() {
+		return ErrDegraded
+	}
 	tx.ensureRegistered()
 	v := tx.e.vpool.GetIn(t.Arena(), payload, t.NumIndexes(), field.FromTxID(tx.T.ID()), infinityWord)
 	t.Insert(v)
@@ -426,6 +429,9 @@ func (tx *Tx) Update(t *storage.Table, old *storage.Version, newPayload []byte) 
 	if tx.readOnly {
 		return ErrReadOnlyTx
 	}
+	if tx.e.degraded.Load() {
+		return ErrDegraded
+	}
 	tx.ensureRegistered()
 	wasReadLocked, err := tx.installWriteLock(old)
 	if err != nil {
@@ -462,6 +468,9 @@ func (tx *Tx) Delete(t *storage.Table, old *storage.Version) error {
 	}
 	if tx.readOnly {
 		return ErrReadOnlyTx
+	}
+	if tx.e.degraded.Load() {
+		return ErrDegraded
 	}
 	tx.ensureRegistered()
 	wasReadLocked, err := tx.installWriteLock(old)

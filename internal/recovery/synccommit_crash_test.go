@@ -1,0 +1,346 @@
+package recovery_test
+
+// The synchronous-commit crash suite: the honesty test for the Fsync
+// durability level. Unlike the freeze-model suite in crash_test.go — where a
+// commit acknowledgement racing the crash has an *unknown* outcome — here
+// every acknowledgement is a promise: Append returns only after the batch
+// fsync, so a commit that returned nil MUST survive any fault the disk can
+// throw. The store runs under the byte-granularity fault model
+// (StoreOptions.Faults wraps the live segment in a wal.FaultFile): power loss
+// discards everything past the last fsync barrier plus an arbitrary torn
+// prefix, a failed fsync silently drops the dirty bytes (fsyncgate), write
+// faults tear a batch mid-frame. After the fault the engine degrades to
+// read-only; recovery from the surviving bytes must contain every
+// acknowledged transaction — except under "chop", which deliberately
+// destroys acknowledged tail bytes — and the history must validate.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+const (
+	syncWorkers = 4
+	syncTxns    = 80
+)
+
+func runSyncCommitScenario(t *testing.T, scheme core.Scheme, fault string) {
+	dir := t.TempDir()
+	f := wal.NewFaults()
+	store, err := ckpt.OpenStoreWith(dir, ckpt.StoreOptions{Faults: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.Open(core.Config{
+		Scheme:      scheme,
+		LogSink:     store,
+		Durability:  core.DurabilityFsync,
+		LockTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, marks := crashSchema(t, db)
+
+	// Logged initial load: even keys, value = key*100 (same shape as the
+	// freeze-model suite, so the same checker setup applies).
+	initial := make(map[uint64]uint64)
+	for base := uint64(0); base < crashKeys; base += 32 {
+		tx := db.Begin()
+		for k := base; k < base+32 && k < crashKeys; k += 2 {
+			v := k * 100
+			if err := tx.Insert(rows, workload.Row(k, v)); err != nil {
+				t.Fatal(err)
+			}
+			initial[k] = v
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := ckpt.New(db, store, crashSpecs(rows, marks), ckpt.Options{})
+	if _, err := cp.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the disk fault only now: the load and the first checkpoint ran on a
+	// healthy disk, the workload below runs into the fault. Countdown units
+	// are Fire calls on the live segment — one Write and one Sync per
+	// group-commit batch.
+	switch fault {
+	case "powerloss":
+		f.Arm(wal.FaultFileCrash, 9)
+	case "syncerr":
+		f.Arm(wal.FaultFileSyncErr, 5)
+	case "enospc":
+		f.Arm(wal.FaultFileENOSPC, 5)
+	case "shortwrite":
+		f.Arm(wal.FaultFileShortWrite, 5)
+	case "writeerr":
+		f.Arm(wal.FaultFileWriteErr, 5)
+	case "chop":
+		// No fault: the workload completes, then acknowledged tail bytes are
+		// destroyed behind the store's back.
+	default:
+		t.Fatalf("unknown fault %q", fault)
+	}
+
+	// Two outcome classes. Acked: CommitTS returned nil after the batch
+	// fsync — definite, MUST survive. Refused: CommitTS returned an error
+	// and the engine aborted the transaction; the store rolls torn batches
+	// back, so a refused commit must NOT survive — except under power loss,
+	// where the process dies mid-cleanup and a fully-persisted frame in the
+	// kept torn tail legitimately resurrects (the marker decides, exactly
+	// like the freeze-model suite's unknown outcomes).
+	var (
+		mu       sync.Mutex
+		acked    []outcome
+		refused  []outcome
+		attempts int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < syncWorkers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)*6173 + 11))
+			for i := 0; i < syncTxns && db.Degraded() == nil; i++ {
+				marker := uint64(id+1)<<40 | uint64(i)
+				h, ok := runSyncTxn(db, rows, marks, rng, marker)
+				mu.Lock()
+				attempts++
+				switch {
+				case ok:
+					acked = append(acked, outcome{h: h, marker: marker, definite: true})
+				case h.EndTS != 0 && len(h.Writes) > 0:
+					refused = append(refused, outcome{h: h, marker: marker})
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	// Checkpoints race the fault, exercising rotation and compaction under
+	// the byte-fault model; errors after the latch are part of the scenario.
+	for i := 0; i < 12 && db.Degraded() == nil; i++ {
+		time.Sleep(2 * time.Millisecond)
+		cp.Run()
+	}
+	wg.Wait()
+	if fault != "chop" {
+		if db.Degraded() == nil {
+			t.Fatalf("fault %s never fired (%d commits attempted)", fault, attempts)
+		}
+	} else if err := db.Degraded(); err != nil {
+		t.Fatalf("chop scenario degraded before the chop: %v", err)
+	}
+	db.Close() // flushes; on a dead disk the close error is the latched fault
+	store.Close()
+	if fault == "chop" {
+		if err := store.ChopTail(13); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Recover into a fresh database (no log: recovery must not re-append).
+	store2, err := ckpt.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	db2, err := core.Open(core.Config{Scheme: scheme, LockTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rows2, marks2 := crashSchema(t, db2)
+	st, err := recovery.Recover(db2, recovery.TableSet{"rows": rows2, "marks": marks2},
+		store2, recovery.Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("recovery after %s: %v", fault, err)
+	}
+
+	// The acceptance gates. Every acknowledged commit is present ("chop"
+	// destroyed acknowledged bytes on purpose and is exempt; its survivors
+	// still join the history). Every refused commit is absent — the store
+	// rolled its torn batch back — except under power loss, where a refused
+	// frame that fully persisted before the cut legitimately resurrects and
+	// joins the history at the end timestamp CommitTS reported.
+	var history []check.Txn
+	var maxEnd uint64
+	lost, resurrected := 0, 0
+	rtx := db2.Begin(core.WithIsolation(core.SnapshotIsolation))
+	for _, o := range acked {
+		_, durable, err := rtx.Lookup(marks2, 0, o.marker, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !durable {
+			lost++
+			if fault != "chop" {
+				t.Errorf("%s: acknowledged txn@%d (marker %#x) lost by recovery",
+					fault, o.h.EndTS, o.marker)
+			}
+			continue
+		}
+		history = append(history, o.h)
+		if o.h.EndTS > maxEnd {
+			maxEnd = o.h.EndTS
+		}
+	}
+	for _, o := range refused {
+		_, durable, err := rtx.Lookup(marks2, 0, o.marker, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !durable {
+			continue
+		}
+		if fault != "powerloss" {
+			t.Errorf("%s: refused txn@%d (marker %#x) resurrected by recovery",
+				fault, o.h.EndTS, o.marker)
+			continue
+		}
+		resurrected++
+		history = append(history, o.h)
+		if o.h.EndTS > maxEnd {
+			maxEnd = o.h.EndTS
+		}
+	}
+	rtx.Commit()
+
+	// One final transaction reads everything back; the checker treats any
+	// recovery loss, duplication or reordering as a serializability violation
+	// of this read.
+	final := check.Txn{EndTS: maxEnd + 1}
+	ftx := db2.Begin(core.WithIsolation(core.SnapshotIsolation))
+	for k := uint64(0); k < crashKeys; k++ {
+		row, ok, err := ftx.Lookup(rows2, 0, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := check.Read{Table: "rows", Key: k, Found: ok}
+		if ok {
+			r.Value = workload.RowVal(row.Payload())
+		}
+		final.Reads = append(final.Reads, r)
+	}
+	for g := uint64(0); g < crashGroups; g++ {
+		lo, hi := workload.SecondaryLayout.MustPrefixRange(g)
+		rr := check.RangeRead{Table: "rows", Index: "grp", Lo: lo, Hi: hi}
+		err := ftx.ScanPrefix(rows2, 1, []uint64{g}, nil, func(r core.Row) bool {
+			rr.Keys = append(rr.Keys, crashSecKey(r.Payload()))
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final.RangeReads = append(final.RangeReads, rr)
+	}
+	ftx.Commit()
+	history = append(history, final)
+
+	if err := check.ValidateIndexed(initial, "rows", history, crashIndexers); err != nil {
+		t.Fatalf("%s on %s: recovered history not serializable: %v\nrecovery stats: %+v",
+			fault, scheme, err, st)
+	}
+	if len(history) < 3 {
+		t.Fatalf("%s: degenerate scenario, only %d durable transactions (%d acked, %d lost)",
+			fault, len(history)-1, len(acked), lost)
+	}
+	t.Logf("%s on %s: %d attempted, %d acknowledged, %d refused, %d lost, %d resurrected, stats %+v",
+		fault, scheme, attempts, len(acked), len(refused), lost, resurrected, st)
+}
+
+// runSyncTxn is runCrashTxn with one difference needed by the strict ack
+// contract: when the commit is refused by a log failure, the end timestamp
+// CommitTS drew travels back in h.EndTS, so a power-loss resurrection of the
+// transaction can be placed in the history.
+func runSyncTxn(db *core.Database, rows, marks *core.Table, rng *rand.Rand, marker uint64) (check.Txn, bool) {
+	tx := db.Begin(core.WithIsolation(core.Serializable))
+	var h check.Txn
+
+	g := rng.Uint64() % crashGroups
+	lo, hi := workload.SecondaryLayout.MustPrefixRange(g)
+	rr := check.RangeRead{Table: "rows", Index: "grp", Lo: lo, Hi: hi}
+	if err := tx.ScanPrefix(rows, 1, []uint64{g}, nil, func(r core.Row) bool {
+		rr.Keys = append(rr.Keys, crashSecKey(r.Payload()))
+		return true
+	}); err != nil {
+		tx.Abort()
+		return h, false
+	}
+	h.RangeReads = append(h.RangeReads, rr)
+
+	rk := rng.Uint64() % crashKeys
+	row, ok, err := tx.Lookup(rows, 0, rk, nil)
+	if err != nil {
+		tx.Abort()
+		return h, false
+	}
+	r := check.Read{Table: "rows", Key: rk, Found: ok}
+	if ok {
+		r.Value = workload.RowVal(row.Payload())
+	}
+	h.Reads = append(h.Reads, r)
+
+	wk := rng.Uint64() % crashKeys
+	wrow, wok, err := tx.Lookup(rows, 0, wk, nil)
+	if err != nil {
+		tx.Abort()
+		return h, false
+	}
+	switch {
+	case !wok:
+		nv := rng.Uint64() % 1_000_000
+		if err := tx.Insert(rows, workload.Row(wk, nv)); err != nil {
+			tx.Abort()
+			return h, false
+		}
+		h.Writes = append(h.Writes, check.Write{Table: "rows", Key: wk, Value: nv})
+	case rng.Intn(5) == 0:
+		if err := tx.Delete(rows, wrow); err != nil {
+			tx.Abort()
+			return h, false
+		}
+		h.Writes = append(h.Writes, check.Write{Table: "rows", Op: check.WriteDelete, Key: wk})
+	default:
+		nv := rng.Uint64() % 1_000_000
+		if err := tx.Update(rows, wrow, workload.Row(wk, nv)); err != nil {
+			tx.Abort()
+			return h, false
+		}
+		h.Writes = append(h.Writes, check.Write{Table: "rows", Key: wk, Value: nv})
+	}
+
+	if err := tx.Insert(marks, workload.Row(marker, 1)); err != nil {
+		tx.Abort()
+		return h, false
+	}
+	h.Writes = append(h.Writes, check.Write{Table: "marks", Key: marker, Value: 1})
+
+	end, err := tx.CommitTS()
+	h.EndTS = end // non-zero with an error ⇒ the log refused a drawn commit
+	return h, err == nil && end != 0
+}
+
+func TestSyncCommitCrashRecovery(t *testing.T) {
+	schemes := []core.Scheme{core.SingleVersion, core.MVPessimistic, core.MVOptimistic}
+	faults := []string{"powerloss", "syncerr", "enospc", "shortwrite", "writeerr", "chop"}
+	for _, scheme := range schemes {
+		for _, fault := range faults {
+			scheme, fault := scheme, fault
+			t.Run(scheme.String()+"/"+fault, func(t *testing.T) {
+				runSyncCommitScenario(t, scheme, fault)
+			})
+		}
+	}
+}

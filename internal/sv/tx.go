@@ -22,6 +22,11 @@ var (
 	ErrReadOnlyTx = errors.New("sv: read-only transaction cannot write")
 )
 
+// ErrDegraded is returned by mutation entry points after a latched log
+// failure flipped the engine into degraded read-only mode. It aliases
+// wal.ErrDegraded so errors.Is matches across packages.
+var ErrDegraded = wal.ErrDegraded
+
 type heldLock struct {
 	l    *keyLock
 	s, x int
@@ -310,6 +315,9 @@ func (tx *Tx) Insert(t *Table, payload []byte) error {
 	if tx.readOnly {
 		return ErrReadOnlyTx
 	}
+	if tx.e.degraded.Load() {
+		return ErrDegraded
+	}
 	r := &Record{
 		payload: payload,
 		keys:    make([]uint64, len(t.indexes)),
@@ -360,6 +368,9 @@ func (tx *Tx) Update(t *Table, r *Record, newPayload []byte) error {
 	if tx.readOnly {
 		return ErrReadOnlyTx
 	}
+	if tx.e.degraded.Load() {
+		return ErrDegraded
+	}
 	oldKeys, err := tx.lockRecordX(t, r)
 	if err != nil {
 		return err
@@ -407,6 +418,9 @@ func (tx *Tx) Delete(t *Table, r *Record) error {
 	}
 	if tx.readOnly {
 		return ErrReadOnlyTx
+	}
+	if tx.e.degraded.Load() {
+		return ErrDegraded
 	}
 	oldKeys, err := tx.lockRecordX(t, r)
 	if err != nil {
@@ -534,8 +548,16 @@ func (tx *Tx) CommitTS() (uint64, error) {
 	if tx.e.cfg.Log != nil && len(tx.writes) > 0 {
 		rec := &wal.Record{TxID: tx.id, EndTS: endTS, Ops: tx.writes}
 		if err := tx.e.cfg.Log.Append(rec); err != nil {
+			// The in-flight commit rolls back, and the engine flips
+			// read-only: a log that cannot accept records cannot back any
+			// future acknowledgement either. The end sequence is returned
+			// with the error: after a power loss the record may still sit
+			// below the surviving torn tail, and crash harnesses need the
+			// timestamp to place such an unknown-outcome transaction when
+			// recovery proves it durable.
+			tx.e.degrade(err)
 			tx.rollback()
-			return 0, err
+			return endTS, err
 		}
 	}
 	for i := range tx.undo {

@@ -1,0 +1,220 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"syscall"
+)
+
+// File is the handle the durability layer holds on a live log segment: the
+// subset of *os.File it actually uses. Production code passes *os.File
+// straight through; tests substitute a *FaultFile to inject byte-granularity
+// disk faults without touching the code under test.
+type File interface {
+	io.Writer
+	Syncer
+	io.Closer
+}
+
+// Backing is what a FaultFile wraps: a File that can also be truncated to a
+// byte offset and sought, because both fsync failure and power loss are
+// modelled as a suffix of the file disappearing — and after dropping the
+// suffix the write position must move back with it, or the next write would
+// leave a hole. *os.File satisfies it.
+type Backing interface {
+	File
+	io.Seeker
+	Truncate(size int64) error
+}
+
+// Fault points understood by FaultFile. Arm them on the Faults registry the
+// FaultFile was built with; each fires at byte granularity inside a single
+// Write or Sync call.
+const (
+	// FaultFileWriteErr fails a Write outright: no bytes reach the file and
+	// the caller sees ErrInjected. Models a transient I/O error.
+	FaultFileWriteErr = "file.writeerr"
+	// FaultFileShortWrite writes only a prefix of the buffer and returns
+	// io.ErrShortWrite with the short count — a torn frame mid-batch.
+	FaultFileShortWrite = "file.shortwrite"
+	// FaultFileENOSPC writes a prefix of the buffer and returns
+	// syscall.ENOSPC: the disk filled mid-batch.
+	FaultFileENOSPC = "file.enospc"
+	// FaultFileSyncErr fails a Sync and drops every byte written since the
+	// last successful sync — the fsyncgate semantics: the kernel reports the
+	// failure once, discards the dirty pages, and a retried fsync would
+	// falsely succeed over the hole. The file itself keeps working.
+	FaultFileSyncErr = "file.syncerr"
+	// FaultFileCrash is a power loss. During a Write it lets half of the
+	// buffer reach the file, then discards half of whatever sits past the
+	// last fsync barrier (a torn, partially-persisted page cache); during a
+	// Sync it discards everything past the barrier. Either way the device is
+	// then gone: every later operation returns ErrCrashed, so nothing can be
+	// acknowledged after the lights went out.
+	FaultFileCrash = "file.crash"
+)
+
+// ErrInjected is the sentinel wrapped by every error a FaultFile invents;
+// match with errors.Is to distinguish injected faults from real I/O errors.
+var ErrInjected = errors.New("wal: injected fault")
+
+// ErrCrashed is returned by every FaultFile operation after a simulated
+// power loss: the device is gone, nothing succeeds, nothing is acknowledged.
+var ErrCrashed = fmt.Errorf("wal: simulated power loss: %w", ErrInjected)
+
+// FaultFile wraps a Backing file and injects disk faults at byte
+// granularity, driven by the same Faults countdown registry the store-level
+// crash points use. It tracks two offsets: size (bytes handed to the
+// backing file) and synced (the last successful fsync barrier). Faults and
+// crashes only ever destroy bytes above the barrier — which is exactly the
+// honesty contract the Fsync durability level is tested against.
+type FaultFile struct {
+	mu     sync.Mutex
+	f      Backing
+	faults *Faults
+	size   int64
+	synced int64
+	closed bool
+	crash  bool
+}
+
+// NewFaultFile wraps f. The registry may be shared with store-level fault
+// points; a nil registry yields a transparent pass-through.
+func NewFaultFile(f Backing, faults *Faults) *FaultFile {
+	return &FaultFile{f: f, faults: faults}
+}
+
+// Write appends p, unless a fault fires inside it.
+func (w *FaultFile) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.crash {
+		return 0, ErrCrashed
+	}
+	if w.faults.Fire(FaultFileWriteErr) {
+		return 0, fmt.Errorf("write %s: %w", FaultFileWriteErr, ErrInjected)
+	}
+	if w.faults.Fire(FaultFileShortWrite) {
+		n := w.writePrefix(p)
+		return n, io.ErrShortWrite
+	}
+	if w.faults.Fire(FaultFileENOSPC) {
+		n := w.writePrefix(p)
+		return n, syscall.ENOSPC
+	}
+	if w.faults.Fire(FaultFileCrash) {
+		// Power cut mid-write: a prefix of this buffer made it to the page
+		// cache, then half of the unsynced region — an arbitrary, possibly
+		// mid-record offset — survived to the platter.
+		w.writePrefix(p)
+		w.crashLocked((w.size - w.synced) / 2)
+		return 0, ErrCrashed
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// writePrefix writes the first half of p (at least one byte when p is
+// non-empty) to the backing file, for torn-write faults.
+func (w *FaultFile) writePrefix(p []byte) int {
+	n := len(p) / 2
+	if n == 0 && len(p) > 0 {
+		n = 1
+	}
+	m, _ := w.f.Write(p[:n])
+	w.size += int64(m)
+	return m
+}
+
+// Sync advances the fsync barrier, unless a fault fires.
+func (w *FaultFile) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.crash {
+		return ErrCrashed
+	}
+	if w.faults.Fire(FaultFileSyncErr) {
+		// fsyncgate: the failure is reported exactly once and the dirty
+		// pages are gone. The file remains usable — which is the trap: a
+		// retried fsync here would succeed and prove nothing.
+		w.discardTo(w.synced)
+		return fmt.Errorf("sync %s: %w", FaultFileSyncErr, ErrInjected)
+	}
+	if w.faults.Fire(FaultFileCrash) {
+		w.crashLocked(0)
+		return ErrCrashed
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.synced = w.size
+	return nil
+}
+
+// Close closes the backing file. It works even after a crash so harnesses
+// can release the descriptor and reopen the directory for recovery.
+func (w *FaultFile) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}
+
+// Crash simulates a power loss now: at most keep bytes of the unsynced
+// region survive (clamped to [0, unsynced]), everything above is discarded,
+// and every subsequent operation returns ErrCrashed. Harnesses call it
+// directly to place a torn tail at an arbitrary byte offset.
+func (w *FaultFile) Crash(keep int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.crash {
+		return nil
+	}
+	return w.crashLocked(keep)
+}
+
+func (w *FaultFile) crashLocked(keep int64) error {
+	if keep < 0 {
+		keep = 0
+	}
+	if unsynced := w.size - w.synced; keep > unsynced {
+		keep = unsynced
+	}
+	w.crash = true
+	return w.discardTo(w.synced + keep)
+}
+
+// discardTo truncates the backing file to off and moves the write position
+// with it, so the file models lost bytes, not a zero-filled hole.
+func (w *FaultFile) discardTo(off int64) error {
+	w.size = off
+	if err := w.f.Truncate(off); err != nil {
+		return err
+	}
+	_, err := w.f.Seek(off, io.SeekStart)
+	return err
+}
+
+// Crashed reports whether a simulated power loss has occurred.
+func (w *FaultFile) Crashed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.crash
+}
+
+// Offsets returns the written size and the fsync barrier, for tests
+// asserting exactly which bytes a fault destroyed.
+func (w *FaultFile) Offsets() (size, synced int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size, w.synced
+}

@@ -61,6 +61,46 @@ type Record struct {
 type chunk struct {
 	buf  []byte
 	done chan struct{} // closed when flushed (synchronous mode)
+	err  error         // this batch's outcome; valid once done is closed
+}
+
+// Durability selects what a commit acknowledgement promises: how far a
+// record has travelled when Append returns.
+type Durability int
+
+const (
+	// Async acknowledges as soon as the encoded record is queued for group
+	// commit (the paper's measurement configuration: commit is decoupled
+	// from log I/O entirely).
+	Async Durability = iota
+	// Flush acknowledges after the record's batch has been written to the
+	// sink. The bytes may still sit in the OS page cache: a process kill
+	// cannot lose them, a power loss can.
+	Flush
+	// Fsync acknowledges after the record's batch has been written AND the
+	// sink's Sync has confirmed the bytes stable — one fsync per
+	// group-commit batch, amortized over every record in it. This is the
+	// only level whose acknowledgement survives power loss.
+	Fsync
+)
+
+// String returns the level name used in docs and benchmarks.
+func (d Durability) String() string {
+	switch d {
+	case Flush:
+		return "flush"
+	case Fsync:
+		return "fsync"
+	default:
+		return "async"
+	}
+}
+
+// Syncer is implemented by sinks that can force written bytes to stable
+// storage (os.File, ckpt.Store). At Fsync durability the flusher calls Sync
+// once per batch; a sink without Sync silently caps the level at Flush.
+type Syncer interface {
+	Sync() error
 }
 
 // Config controls the log.
@@ -69,7 +109,10 @@ type Config struct {
 	// discarded (the measurement configuration: bandwidth is modelled but no
 	// device is written).
 	Sink io.Writer
-	// Synchronous makes Append wait for the record's batch to be flushed.
+	// Durability selects the acknowledgement level (default Async).
+	Durability Durability
+	// Synchronous is the legacy name for Durability >= Flush; it is honored
+	// when Durability is left at Async.
 	Synchronous bool
 	// BatchSize is the maximum number of records per group-commit batch.
 	BatchSize int
@@ -80,13 +123,24 @@ type Config struct {
 	BufferedRecords int
 }
 
+// LogStats reports log activity counters.
+type LogStats struct {
+	Appended uint64 // records accepted by Append
+	Flushed  uint64 // records written to the sink
+	Batches  uint64 // group-commit batches written
+	Bytes    uint64 // bytes handed to the sink
+	Syncs    uint64 // per-batch sink fsyncs (Fsync durability only)
+}
+
 // Log is a group-commit redo log.
 type Log struct {
 	cfg     Config
+	syncer  Syncer // cfg.Sink when it can fsync and cfg.Durability is Fsync
 	ch      chan *chunk
 	flush   chan chan struct{}
 	done    chan struct{}
 	bufPool sync.Pool
+	senders sync.WaitGroup // Appends between queue admission and channel send
 
 	mu       sync.Mutex
 	closed   bool
@@ -95,10 +149,17 @@ type Log struct {
 	flushed  uint64
 	batches  uint64
 	bytes    uint64
+	syncs    uint64
 }
 
 // ErrClosed is returned by Append after Close.
 var ErrClosed = errors.New("wal: log closed")
+
+// ErrDegraded is returned by engine write paths after a latched log or sink
+// failure has flipped the database into degraded read-only mode: reads and
+// read-only snapshots keep serving, new writes fail fast. It lives here
+// because wal is the one package every engine imports; core re-exports it.
+var ErrDegraded = errors.New("engine degraded: log failure, read-only mode")
 
 // Open starts the log's flusher goroutine.
 func Open(cfg Config) *Log {
@@ -111,11 +172,19 @@ func Open(cfg Config) *Log {
 	if cfg.BufferedRecords <= 0 {
 		cfg.BufferedRecords = 1 << 14
 	}
+	if cfg.Durability == Async && cfg.Synchronous {
+		cfg.Durability = Flush
+	}
 	l := &Log{
 		cfg:   cfg,
 		ch:    make(chan *chunk, cfg.BufferedRecords),
 		flush: make(chan chan struct{}),
 		done:  make(chan struct{}),
+	}
+	if cfg.Durability == Fsync {
+		if s, ok := cfg.Sink.(Syncer); ok {
+			l.syncer = s
+		}
 	}
 	l.bufPool.New = func() any { return new(chunk) }
 	go l.run()
@@ -124,9 +193,10 @@ func Open(cfg Config) *Log {
 
 // Append submits a record for group commit. The record is encoded before
 // Append returns, so the caller may immediately reuse the record and any
-// payload buffers it references. In asynchronous mode Append returns as soon
-// as the encoded record is queued; in synchronous mode it waits until the
-// record's batch has reached the sink.
+// payload buffers it references. At Async durability Append returns as soon
+// as the encoded record is queued; at Flush it waits until the record's
+// batch has reached the sink; at Fsync it additionally waits for the batch's
+// fsync, so a nil return is a durable-commit promise.
 func (l *Log) Append(r *Record) error {
 	c := l.bufPool.Get().(*chunk)
 	c.buf = EncodeRecord(c.buf[:0], r)
@@ -147,17 +217,29 @@ func (l *Log) Append(r *Record) error {
 		return err
 	}
 	l.appended++
+	// The sender count is raised while closed is false, under mu; Close sets
+	// closed first and waits for this count before closing the channel, so
+	// the send below can never hit a closed channel.
+	l.senders.Add(1)
 	l.mu.Unlock()
-	if l.cfg.Synchronous {
+	if l.cfg.Durability != Async {
 		c.done = make(chan struct{})
 	}
 	done := c.done
 	l.ch <- c
+	l.senders.Done()
 	if done != nil {
+		// The flusher hands the chunk back through the done close; the
+		// error on it is THIS batch's outcome, not the global latch — a
+		// record that was written and fsynced is acknowledged as durable
+		// even if a later batch has already failed by the time this
+		// goroutine wakes up. Reporting the global error here would abort
+		// a transaction whose record is durably in the log, and recovery
+		// would resurrect it behind the caller's back.
 		<-done
-		l.mu.Lock()
-		err := l.err
-		l.mu.Unlock()
+		err := c.err
+		c.done, c.err = nil, nil
+		l.bufPool.Put(c)
 		return err
 	}
 	return nil
@@ -186,6 +268,10 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	l.mu.Unlock()
+	// Appends that passed the closed check are still between queue admission
+	// and their channel send; wait them out before closing the channel (no
+	// new senders can start: closed is set).
+	l.senders.Wait()
 	close(l.ch)
 	<-l.done
 	l.mu.Lock()
@@ -194,10 +280,25 @@ func (l *Log) Close() error {
 }
 
 // Stats reports log activity counters.
-func (l *Log) Stats() (appended, flushed, batches, bytes uint64) {
+func (l *Log) Stats() LogStats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.appended, l.flushed, l.batches, l.bytes
+	return LogStats{
+		Appended: l.appended,
+		Flushed:  l.flushed,
+		Batches:  l.batches,
+		Bytes:    l.bytes,
+		Syncs:    l.syncs,
+	}
+}
+
+// Err returns the latched flusher error: the first sink write or fsync
+// failure observed. A non-nil Err means the log stopped accepting appends
+// and the engine above it should degrade (see ErrDegraded).
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
 }
 
 func (l *Log) run() {
@@ -217,9 +318,25 @@ func (l *Log) run() {
 		for _, c := range batch {
 			buf = append(buf, c.buf...)
 		}
-		var err error
-		if l.cfg.Sink != nil {
-			_, err = l.cfg.Sink.Write(buf)
+		l.mu.Lock()
+		err := l.err
+		l.mu.Unlock()
+		broken := err != nil
+		var synced bool
+		// Once any write or fsync has failed the log is dead: no further
+		// bytes go to the sink and — critically — no fsync is ever retried.
+		// After a failed fsync the kernel may have dropped the dirty pages
+		// and cleared the error (the fsyncgate semantics), so a later
+		// "successful" fsync would prove nothing about the lost bytes;
+		// retrying just converts data loss into silent data loss.
+		if !broken {
+			if l.cfg.Sink != nil {
+				_, err = l.cfg.Sink.Write(buf)
+			}
+			if err == nil && l.syncer != nil {
+				err = l.syncer.Sync()
+				synced = err == nil
+			}
 		}
 		l.mu.Lock()
 		if err != nil && l.err == nil {
@@ -228,13 +345,21 @@ func (l *Log) run() {
 		l.flushed += uint64(len(batch))
 		l.batches++
 		l.bytes += uint64(len(buf))
+		if synced {
+			l.syncs++
+		}
 		l.mu.Unlock()
 		for _, c := range batch {
 			if c.done != nil {
+				// Synchronous append: publish this batch's outcome (in drain
+				// mode that is the latched error — the record never reached
+				// the sink) and hand the chunk to the waiting appender, who
+				// recycles it after reading err.
+				c.err = err
 				close(c.done)
-				c.done = nil
+			} else {
+				l.bufPool.Put(c)
 			}
-			l.bufPool.Put(c)
 		}
 		clear(batch)
 		batch = batch[:0]

@@ -91,14 +91,14 @@ func TestGroupCommitBatches(t *testing.T) {
 	if err := l.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	appended, flushed, batches, bytesOut := l.Stats()
-	if appended != 64 || flushed != 64 {
-		t.Fatalf("appended=%d flushed=%d", appended, flushed)
+	st := l.Stats()
+	if st.Appended != 64 || st.Flushed != 64 {
+		t.Fatalf("appended=%d flushed=%d", st.Appended, st.Flushed)
 	}
-	if batches >= 64 {
-		t.Fatalf("batches = %d, expected grouping", batches)
+	if st.Batches >= 64 {
+		t.Fatalf("batches = %d, expected grouping", st.Batches)
 	}
-	if bytesOut == 0 {
+	if st.Bytes == 0 {
 		t.Fatal("no bytes written")
 	}
 	l.Close()
@@ -322,8 +322,7 @@ func TestDeltaEncodingBandwidth(t *testing.T) {
 		}})
 	}
 	l.Flush()
-	_, _, _, total := l.Stats()
-	perRecord := float64(total) / n
+	perRecord := float64(l.Stats().Bytes) / n
 	if perRecord > 100 {
 		t.Fatalf("per-record bytes = %.1f, framing too heavy", perRecord)
 	}
