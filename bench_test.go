@@ -94,6 +94,51 @@ func BenchmarkFig4(b *testing.B) {
 	}
 }
 
+// BenchmarkCommitStorm — the smallest possible write transaction (one
+// update, no reads) committed as fast as possible, the worst case for the
+// shared timestamp oracle. Parallelism follows GOMAXPROCS: RunParallel
+// starts 2 workers per P, so raising GOMAXPROCS raises the number of
+// concurrent committers and the combining funnel starts batching their
+// oracle draws. Reports draws/commit — physical fetch-and-adds on the shared
+// end-timestamp counter per committed transaction (MV batch begins amortize
+// the begin-side draw; combining shrinks the end side below 1 under load).
+func BenchmarkCommitStorm(b *testing.B) {
+	for _, s := range benchSchemes {
+		b.Run(s.name, func(b *testing.B) {
+			db, tbl := openBench(b, s.scheme, benchRowsLarge)
+			h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: benchRowsLarge}, R: 0, W: 1}
+			f0 := db.FunnelStats()
+			c0 := db.Stats().Commits
+			var seed atomic.Int64
+			b.SetParallelism(2)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1) * 7919))
+				batch := db.BeginBatch(256, core.WithIsolation(core.ReadCommitted))
+				defer batch.Close()
+				for pb.Next() {
+					for {
+						tx := batch.Begin()
+						if _, err := h.Run(tx, rng); err != nil {
+							tx.Abort()
+							continue
+						}
+						if tx.Commit() == nil {
+							break
+						}
+					}
+				}
+			})
+			b.StopTimer()
+			f1 := db.FunnelStats()
+			if dc := db.Stats().Commits - c0; dc > 0 {
+				b.ReportMetric(float64(f1.Physical-f0.Physical)/float64(dc), "draws/commit")
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+		})
+	}
+}
+
 // BenchmarkRangeScan — the range-heavy workload on an ordered primary
 // index: 4 range scans of 100 consecutive rows plus 2 point updates per
 // transaction. No counterpart in the paper (its prototype had only hash

@@ -19,6 +19,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/recovery"
 	"repro/internal/tatp"
+	"repro/internal/ts"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -74,6 +77,82 @@ type File struct {
 	// levels against a real on-disk log store, recording how many commits
 	// each group-commit fsync amortizes (see measureSyncCommit).
 	SyncCommit *SyncCommitResult `json:"sync_commit,omitempty"`
+	// ReadOnlyPinOverflows is the number of reader-pin table overflows
+	// observed during the MV read-only counter probe; the striped pin table
+	// must absorb a sequential read-only stream without ever spilling to the
+	// registered slow path. ReadOnlyPinOverflows1V is the same on the
+	// single-version engine's node-epoch pins.
+	ReadOnlyPinOverflows   *uint64 `json:"read_only_pin_overflows,omitempty"`
+	ReadOnlyPinOverflows1V *uint64 `json:"read_only_pin_overflows_1v,omitempty"`
+	// Sweep maps "Scenario/Scheme" to its GOMAXPROCS ladder (see -sweep):
+	// the same benchmark re-run at each processor count, with the shared
+	// timestamp-oracle and reader-pin instrumentation captured per point.
+	Sweep map[string][]SweepPoint `json:"sweep,omitempty"`
+}
+
+// SweepPoint is one (scenario, scheme, GOMAXPROCS) measurement of the
+// multi-core sweep.
+type SweepPoint struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	TxPerSec   float64 `json:"tx_per_sec"`
+	// Commits is the number of transactions committed during the measured
+	// run; OracleDraws is the number of fetch-and-adds actually issued on the
+	// engine's shared sequence counters over the same interval (MV: the
+	// commit-timestamp funnel's physical draws, covering begin and end; 1V:
+	// transaction-ID draws plus the end-sequence funnel's physical draws).
+	Commits     uint64 `json:"commits"`
+	OracleDraws uint64 `json:"oracle_draws"`
+	// DrawsPerCommit is OracleDraws/Commits — below 1.0 once batch begins and
+	// funnel combining amortize the shared counter across transactions.
+	DrawsPerCommit float64 `json:"draws_per_commit"`
+	// CombiningRatio is logical draws per physical fetch-and-add inside the
+	// funnel (1.0 = no combining).
+	CombiningRatio float64 `json:"combining_ratio"`
+	// PinOverflows counts reader-pin acquisitions that found the striped
+	// table full during the run.
+	PinOverflows uint64 `json:"pin_overflows"`
+}
+
+// probe snapshots the shared-counter instrumentation (funnel, commits, pin
+// overflows, 1V transaction IDs) so a benchmark can report deltas.
+type probe struct {
+	db      *core.Database
+	f       ts.FunnelStats
+	commits uint64
+	over    uint64
+	txSeq   uint64
+}
+
+func startProbe(db *core.Database) probe {
+	p := probe{db: db, f: db.FunnelStats(), commits: db.Stats().Commits, over: db.PinOverflows()}
+	if sv := db.SV(); sv != nil {
+		p.txSeq, _ = sv.Counters()
+	}
+	return p
+}
+
+// finish fills sp with the deltas since startProbe; nil sp means the caller
+// is running outside a sweep and only wanted the benchmark itself.
+func (p probe) finish(sp *SweepPoint) {
+	if sp == nil {
+		return
+	}
+	f := p.db.FunnelStats()
+	sp.Commits = p.db.Stats().Commits - p.commits
+	sp.OracleDraws = f.Physical - p.f.Physical
+	if sv := p.db.SV(); sv != nil {
+		t, _ := sv.Counters()
+		sp.OracleDraws += t - p.txSeq
+	}
+	if sp.Commits > 0 {
+		sp.DrawsPerCommit = float64(sp.OracleDraws) / float64(sp.Commits)
+	}
+	sp.CombiningRatio = 1
+	if d := f.Physical - p.f.Physical; d > 0 {
+		sp.CombiningRatio = float64(f.Draws-p.f.Draws) / float64(d)
+	}
+	sp.PinOverflows = p.db.PinOverflows() - p.over
 }
 
 // SyncCommitLevel is one durability level's measurement.
@@ -180,7 +259,7 @@ func homogeneous(scheme core.Scheme, rows uint64) func(*testing.B) {
 // increment, no transaction-table registration); otherwise they are regular
 // registered snapshot transactions, which is the before-side of the
 // comparison within one run.
-func readMostly(scheme core.Scheme, fastLane bool) func(*testing.B) {
+func readMostly(scheme core.Scheme, fastLane bool, sp *SweepPoint) func(*testing.B) {
 	return func(b *testing.B) {
 		db, tbl, err := openDB(scheme, rowsSmall)
 		if err != nil {
@@ -190,6 +269,7 @@ func readMostly(scheme core.Scheme, fastLane bool) func(*testing.B) {
 		up := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: rowsSmall}, R: 10, W: 2}
 		rd := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: rowsSmall}, R: 10, W: 0}
 		var seed atomic.Int64
+		pr := startProbe(db)
 		b.ReportAllocs()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
@@ -220,6 +300,49 @@ func readMostly(scheme core.Scheme, fastLane bool) func(*testing.B) {
 			}
 		})
 		b.StopTimer()
+		pr.finish(sp)
+	}
+}
+
+// commitStorm is the sweep's commit-heavy scenario: the smallest possible
+// write transaction (one update, no reads) on the large table, each worker
+// streaming through a TxBatch (one begin-side oracle draw per 256
+// transactions). Unlike the other scenarios it runs 2 workers per P — the
+// funnel combines draws from *concurrent* committers, so the storm
+// deliberately oversubscribes to keep runnable peers available on every
+// processor.
+func commitStorm(scheme core.Scheme, sp *SweepPoint) func(*testing.B) {
+	return func(b *testing.B) {
+		db, tbl, err := openDB(scheme, rowsLarge)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		h := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: rowsLarge}, R: 0, W: 1}
+		var seed atomic.Int64
+		pr := startProbe(db)
+		b.ReportAllocs()
+		b.SetParallelism(2)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(seed.Add(1) * 7919))
+			batch := db.BeginBatch(256, core.WithIsolation(core.ReadCommitted))
+			defer batch.Close()
+			for pb.Next() {
+				for {
+					tx := batch.Begin()
+					if _, err := h.Run(tx, rng); err != nil {
+						tx.Abort()
+						continue
+					}
+					if tx.Commit() == nil {
+						break
+					}
+				}
+			}
+		})
+		b.StopTimer()
+		pr.finish(sp)
 	}
 }
 
@@ -272,26 +395,27 @@ func largeRow(scheme core.Scheme) func(*testing.B) {
 // database and returns how many timestamp-oracle increments they performed
 // in total — the fast lane's contract is exactly zero (Current() is only
 // ever loaded, and read-only commits skip the end-timestamp draw).
-func measureCounterDelta(n int) (uint64, error) {
+func measureCounterDelta(n int) (delta, pinOver uint64, err error) {
 	db, tbl, err := openDB(core.MVOptimistic, rowsSmall)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer db.Close()
 	rd := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: rowsSmall}, R: 10, W: 0}
 	rng := rand.New(rand.NewSource(1))
 	before := db.MV().Oracle().Current()
+	overBefore := db.PinOverflows()
 	for i := 0; i < n; i++ {
 		tx := db.BeginReadOnly()
 		if _, err := rd.Run(tx, rng); err != nil {
 			tx.Abort()
-			return 0, fmt.Errorf("read-only txn failed: %w", err)
+			return 0, 0, fmt.Errorf("read-only txn failed: %w", err)
 		}
 		if err := tx.Commit(); err != nil {
-			return 0, fmt.Errorf("read-only commit failed: %w", err)
+			return 0, 0, fmt.Errorf("read-only commit failed: %w", err)
 		}
 	}
-	return db.MV().Oracle().Current() - before, nil
+	return db.MV().Oracle().Current() - before, db.PinOverflows() - overBefore, nil
 }
 
 // rangeHeavy exercises the ordered-index access path: 4 range scans of 100
@@ -347,27 +471,28 @@ func secondaryHeavy(scheme core.Scheme) func(*testing.B) {
 // 1V database and returns how many shared-sequence increments (transaction
 // IDs + end timestamps) they performed in total — the fast lane's contract
 // is exactly zero.
-func measureCounterDelta1V(n int) (uint64, error) {
+func measureCounterDelta1V(n int) (delta, pinOver uint64, err error) {
 	db, tbl, err := openDB(core.SingleVersion, rowsSmall)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer db.Close()
 	rd := workload.Homogeneous{Table: tbl, Dist: workload.Uniform{N: rowsSmall}, R: 10, W: 0}
 	rng := rand.New(rand.NewSource(1))
 	txBefore, endBefore := db.SV().Counters()
+	overBefore := db.PinOverflows()
 	for i := 0; i < n; i++ {
 		tx := db.BeginReadOnly()
 		if _, err := rd.Run(tx, rng); err != nil {
 			tx.Abort()
-			return 0, fmt.Errorf("1V read-only txn failed: %w", err)
+			return 0, 0, fmt.Errorf("1V read-only txn failed: %w", err)
 		}
 		if err := tx.Commit(); err != nil {
-			return 0, fmt.Errorf("1V read-only commit failed: %w", err)
+			return 0, 0, fmt.Errorf("1V read-only commit failed: %w", err)
 		}
 	}
 	txAfter, endAfter := db.SV().Counters()
-	return (txAfter - txBefore) + (endAfter - endBefore), nil
+	return (txAfter - txBefore) + (endAfter - endBefore), db.PinOverflows() - overBefore, nil
 }
 
 func tatpMix(scheme core.Scheme) func(*testing.B) {
@@ -418,7 +543,7 @@ func tatpMix(scheme core.Scheme) func(*testing.B) {
 // tatpBatch is the TATP mix with each worker running its stream through a
 // TxBatch: one oracle draw per 256 transactions, registration only for the
 // writing minority.
-func tatpBatch(scheme core.Scheme) func(*testing.B) {
+func tatpBatch(scheme core.Scheme, sp *SweepPoint) func(*testing.B) {
 	return func(b *testing.B) {
 		db, err := core.Open(core.Config{Scheme: scheme, LogSink: io.Discard})
 		if err != nil {
@@ -436,6 +561,7 @@ func tatpBatch(scheme core.Scheme) func(*testing.B) {
 			total += m.Weight
 		}
 		var seed atomic.Int64
+		pr := startProbe(db)
 		b.ReportAllocs()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
@@ -461,6 +587,7 @@ func tatpBatch(scheme core.Scheme) func(*testing.B) {
 			}
 		})
 		b.StopTimer()
+		pr.finish(sp)
 	}
 }
 
@@ -734,7 +861,8 @@ func main() {
 	before := flag.String("before", "", "merge this earlier results file as the 'before' column")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement time (testing -benchtime syntax)")
 	quick := flag.Bool("quick", false, "shortcut for -benchtime 100ms (CI smoke)")
-	check := flag.Bool("check", false, "fail (exit 1) if read-only transactions perform any shared-counter increment")
+	check := flag.Bool("check", false, "fail (exit 1) if read-only transactions perform any shared-counter increment or pin-table overflow")
+	sweep := flag.String("sweep", "", "comma-separated GOMAXPROCS values (e.g. 1,4,16,64): re-run the commit-storm, TATP and read-mostly scenarios at each, recording oracle draws per commit and pin overflows")
 	flag.Parse()
 
 	if *quick {
@@ -770,15 +898,15 @@ func main() {
 			namedBench{"Fig4Update/" + s.name, homogeneous(s.scheme, rowsLarge)},
 			namedBench{"Fig5Hotspot/" + s.name, homogeneous(s.scheme, rowsSmall)},
 			namedBench{"TATP/" + s.name, tatpMix(s.scheme)},
-			namedBench{"ReadMostly/" + s.name + "/Registered", readMostly(s.scheme, false)},
-			namedBench{"ReadMostly/" + s.name + "/FastLane", readMostly(s.scheme, true)},
+			namedBench{"ReadMostly/" + s.name + "/Registered", readMostly(s.scheme, false, nil)},
+			namedBench{"ReadMostly/" + s.name + "/FastLane", readMostly(s.scheme, true, nil)},
 			namedBench{"Range/" + s.name, rangeHeavy(s.scheme)},
 			namedBench{"Secondary/" + s.name, secondaryHeavy(s.scheme)},
 		)
 	}
 	benches = append(benches,
 		namedBench{"LargeRow/MVO", largeRow(core.MVOptimistic)},
-		namedBench{"TATPBatch/MVO", tatpBatch(core.MVOptimistic)},
+		namedBench{"TATPBatch/MVO", tatpBatch(core.MVOptimistic, nil)},
 		namedBench{"Range/1V", rangeHeavy(core.SingleVersion)},
 		namedBench{"Secondary/1V", secondaryHeavy(core.SingleVersion)},
 	)
@@ -812,18 +940,29 @@ func main() {
 			bm.name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.TxPerSec)
 	}
 
+	if *sweep != "" {
+		vals, err := parseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		file.Sweep = runSweep(vals)
+	}
+
 	const counterTxns = 10_000
 	fmt.Fprintf(os.Stderr, "measuring read-only shared-counter delta (%d txns)...\n", counterTxns)
-	delta, deltaErr := measureCounterDelta(counterTxns)
+	delta, pinOver, deltaErr := measureCounterDelta(counterTxns)
 	if deltaErr == nil {
 		file.ReadOnlyCounterDelta = &delta
 		file.ReadOnlyCounterTxns = counterTxns
-		fmt.Fprintf(os.Stderr, "  %d oracle increments across %d read-only txns\n", delta, counterTxns)
+		file.ReadOnlyPinOverflows = &pinOver
+		fmt.Fprintf(os.Stderr, "  %d oracle increments, %d pin overflows across %d read-only txns\n", delta, pinOver, counterTxns)
 	}
-	delta1v, delta1vErr := measureCounterDelta1V(counterTxns)
+	delta1v, pinOver1v, delta1vErr := measureCounterDelta1V(counterTxns)
 	if delta1vErr == nil {
 		file.ReadOnlyCounterDelta1V = &delta1v
-		fmt.Fprintf(os.Stderr, "  %d 1V sequence increments across %d read-only txns\n", delta1v, counterTxns)
+		file.ReadOnlyPinOverflows1V = &pinOver1v
+		fmt.Fprintf(os.Stderr, "  %d 1V sequence increments, %d pin overflows across %d read-only txns\n", delta1v, pinOver1v, counterTxns)
 	}
 
 	fmt.Fprintln(os.Stderr, "measuring recovery: full-log replay vs checkpoint+tail...")
@@ -889,4 +1028,71 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: FAIL: 1V read-only fast lane performed %d shared-counter increments (want 0)\n", delta1v)
 		os.Exit(1)
 	}
+	if *check && (pinOver != 0 || pinOver1v != 0) {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: read-only fast lane overflowed the striped pin table (MV %d, 1V %d, want 0)\n", pinOver, pinOver1v)
+		os.Exit(1)
+	}
+}
+
+// parseSweep parses the -sweep flag: a comma-separated list of GOMAXPROCS
+// values, each at least 1.
+func parseSweep(s string) ([]int, error) {
+	var vals []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -sweep value %q (want integers >= 1)", part)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// runSweep runs the multi-core scenarios at each GOMAXPROCS value and
+// returns the ladder keyed by "Scenario/Scheme". GOMAXPROCS is restored
+// before returning. Values above the machine's core count oversubscribe the
+// scheduler rather than adding parallelism — still useful: combining and pin
+// striping are exercised by the number of concurrent committers, not cores.
+func runSweep(values []int) map[string][]SweepPoint {
+	type schemePick struct {
+		name   string
+		scheme core.Scheme
+	}
+	allSchemes := []schemePick{
+		{"MVO", core.MVOptimistic},
+		{"MVL", core.MVPessimistic},
+		{"1V", core.SingleVersion},
+	}
+	mvoAnd1V := []schemePick{{"MVO", core.MVOptimistic}, {"1V", core.SingleVersion}}
+	scenarios := []struct {
+		name    string
+		schemes []schemePick
+		fn      func(core.Scheme, *SweepPoint) func(*testing.B)
+	}{
+		{"CommitStorm", allSchemes, commitStorm},
+		{"TATP", mvoAnd1V, tatpBatch},
+		{"ReadMostly", mvoAnd1V, func(s core.Scheme, sp *SweepPoint) func(*testing.B) {
+			return readMostly(s, true, sp)
+		}},
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	out := make(map[string][]SweepPoint)
+	for _, g := range values {
+		runtime.GOMAXPROCS(g)
+		for _, sc := range scenarios {
+			for _, s := range sc.schemes {
+				key := sc.name + "/" + s.name
+				fmt.Fprintf(os.Stderr, "sweep GOMAXPROCS=%d %s...\n", g, key)
+				sp := SweepPoint{GOMAXPROCS: g}
+				res := toResult(testing.Benchmark(sc.fn(s.scheme, &sp)))
+				sp.NsPerOp = res.NsPerOp
+				sp.TxPerSec = res.TxPerSec
+				out[key] = append(out[key], sp)
+				fmt.Fprintf(os.Stderr, "  %s@%d: %.0f tx/s, %.3f draws/commit, combining %.2f, %d pin overflows\n",
+					key, g, sp.TxPerSec, sp.DrawsPerCommit, sp.CombiningRatio, sp.PinOverflows)
+			}
+		}
+	}
+	return out
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/mv"
 	"repro/internal/storage"
 	"repro/internal/sv"
+	"repro/internal/ts"
 	"repro/internal/wal"
 )
 
@@ -124,10 +125,10 @@ type Config struct {
 	DisableSpeculation bool
 	// DisableEagerUpdates turns off MV/L eager updates (ablation).
 	DisableEagerUpdates bool
-	// ReaderPinSlots sizes the MV engines' reader-pin table (the number of
-	// concurrent registration-free snapshot readers tracked without falling
-	// back to transaction-table registration). 0 means the default (128).
-	// Ignored by 1V, whose fast lane touches no shared state at Begin.
+	// ReaderPinSlots is deprecated and ignored: the reader-pin table is
+	// striped per processor and sizes itself from runtime.NumCPU (see
+	// gc.ReaderPins). The field remains so existing configurations keep
+	// compiling; it has no effect.
 	ReaderPinSlots int
 }
 
@@ -178,7 +179,6 @@ func Open(cfg Config) (*Database, error) {
 			GCEvery:             cfg.GCEvery,
 			DisableSpeculation:  cfg.DisableSpeculation,
 			DisableEagerUpdates: cfg.DisableEagerUpdates,
-			ReaderPinSlots:      cfg.ReaderPinSlots,
 		})
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %d", cfg.Scheme)
@@ -232,6 +232,29 @@ func (db *Database) SV() *sv.Engine { return db.svEng }
 // WAL exposes the database's redo log, or nil when logging is disabled. The
 // checkpointer uses it to flush and fence the log around a checkpoint.
 func (db *Database) WAL() *wal.Log { return db.log }
+
+// FunnelStats returns the timestamp-oracle combining funnel's counters: for
+// MV databases the shared commit-timestamp funnel, for 1V databases the
+// end-sequence funnel. Physical is the number of fetch-and-adds actually
+// issued on the shared counter; Draws/Physical is the combining ratio.
+func (db *Database) FunnelStats() ts.FunnelStats {
+	if db.mvEng != nil {
+		return db.mvEng.FunnelStats()
+	}
+	return db.svEng.FunnelStats()
+}
+
+// PinOverflows reports how many reader-pin acquisitions found every slot of
+// the striped pin table occupied and fell back to a slower registered path
+// (MV: read-only fast-lane registration; 1V: node-epoch entry). Persistent
+// overflow on a healthy workload means the pin table is undersized for the
+// machine's concurrency.
+func (db *Database) PinOverflows() uint64 {
+	if db.mvEng != nil {
+		return db.mvEng.PinTableOverflows()
+	}
+	return db.svEng.PinTableOverflows()
+}
 
 // Degraded returns the latched log failure that flipped the database into
 // degraded read-only mode, or nil while healthy. A degraded database keeps

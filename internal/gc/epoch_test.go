@@ -50,15 +50,27 @@ func TestEpochQuiesce(t *testing.T) {
 func TestEpochOverflowFallback(t *testing.T) {
 	var e Epoch
 	e.Init(1)
-	a := e.Enter()
+	// The striped pin table has a per-stripe capacity floor, so fill it
+	// completely before forcing the overflow path.
+	total := e.pins.Slots()
+	held := make([]int, 0, total)
+	for i := 0; i < total; i++ {
+		s := e.Enter()
+		if s < 0 {
+			t.Fatalf("Enter %d overflowed before the table was full", i)
+		}
+		held = append(held, s)
+	}
 	b := e.Enter() // table full: unpinned fallback
 	if b >= 0 {
-		t.Fatal("second Enter got a slot in a 1-slot table")
+		t.Fatal("Enter got a slot in a full table")
 	}
 	if e.Overflows() != 1 {
 		t.Fatalf("Overflows = %d, want 1", e.Overflows())
 	}
-	e.Exit(a)
+	for _, s := range held {
+		e.Exit(s)
+	}
 	s := e.Stamp()
 	e.Stamp()
 	if e.Quiesced(s) || e.Clear() {

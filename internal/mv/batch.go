@@ -68,7 +68,7 @@ func (b *TxBatch) reserve() {
 		b.next, b.limit = 0, 0
 		return
 	}
-	start := b.e.oracle.NextN(b.blockN)
+	start := b.e.funnel.NextN(b.blockN)
 	b.next, b.limit = start, start+b.blockN
 }
 

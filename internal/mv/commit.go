@@ -65,9 +65,36 @@ func (tx *Tx) CommitTS() (uint64, error) {
 	}
 
 	// Precommit: acquire the end timestamp and enter the Preparing state.
-	end := tx.e.oracle.Next()
-	tx.T.SetEnd(end)
+	// The draw goes through the combining funnel — concurrent committers
+	// share one fetch-and-add — which preserves the lock-ordering argument
+	// below because the funnel linearizes each draw inside its own call: a
+	// transaction our locks delay cannot enter the funnel (let alone share a
+	// batch with us) until its wait drains, which happens only after this
+	// draw returns. See ts.Funnel. Pessimistic committers are holding read,
+	// bucket and range locks here, so they take the no-yield path; lockless
+	// optimistic committers may open the combining window.
+	// The state flip precedes the draw, and the order is load-bearing. The
+	// visibility code treats a writer observed Active as "its end timestamp,
+	// whenever it is drawn, will exceed my read time" — true only if the
+	// writer could not have drawn an end timestamp yet. Flipping to
+	// Preparing first makes the observation sound: a validator that catches
+	// us Active knows our draw is entirely in its future (and therefore
+	// larger than its own, already-drawn timestamp); one that catches us
+	// Preparing with no end yet published simply rereads until the store
+	// below lands. The old order (draw, then flip) left a window where a
+	// concurrent serializable validator saw state Active on an inserter
+	// already holding a smaller end timestamp, concluded "no phantom
+	// possible", and committed a scan that missed the insert — a phantom in
+	// end-timestamp order that TestFunnelHistorySerializable catches at
+	// GOMAXPROCS >= 4.
 	tx.T.SetState(txn.Preparing)
+	var end uint64
+	if !tx.tookLocks && len(tx.bucketLocks) == 0 && len(tx.rangeLocks) == 0 {
+		end = tx.e.funnel.Next()
+	} else {
+		end = tx.e.funnel.NextLocked()
+	}
+	tx.T.SetEnd(end)
 
 	// End of normal processing: release read locks, bucket locks and range
 	// locks — strictly AFTER the end timestamp draw. The order is

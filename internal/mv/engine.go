@@ -77,10 +77,10 @@ type Config struct {
 	// of Section 4.2): updating a read-locked version or inserting into a
 	// locked bucket aborts instead of installing a wait-for dependency.
 	DisableEagerUpdates bool
-	// ReaderPinSlots sizes the reader-pin table covering registration-free
-	// snapshot readers (default gc.DefaultPinSlots = 128). Raise it for
-	// workloads with more concurrent anonymous readers than that; overflow
-	// falls back to registered transactions, costing one oracle draw each.
+	// ReaderPinSlots is deprecated and ignored: the reader-pin table is now
+	// striped per processor and sizes itself from runtime.NumCPU (see
+	// gc.ReaderPins). Overflow still falls back to registered transactions,
+	// costing one oracle draw each.
 	ReaderPinSlots int
 }
 
@@ -124,6 +124,9 @@ type Stats struct {
 type Engine struct {
 	cfg    Config
 	oracle ts.Oracle
+	// funnel combines concurrent oracle draws (transaction IDs, end
+	// timestamps, batch blocks) into shared fetch-and-adds; see ts.Funnel.
+	funnel *ts.Funnel
 	txns   *txn.Table
 	gc     *gc.Collector
 	blt    *storage.BucketLockTable
@@ -220,7 +223,8 @@ func NewEngine(cfg Config) *Engine {
 		blt:    storage.NewBucketLockTable(),
 		tables: make(map[string]*storage.Table),
 	}
-	e.pins.Init(cfg.ReaderPinSlots)
+	e.funnel = ts.NewFunnel(&e.oracle)
+	e.pins.Init(0) // cfg.ReaderPinSlots is deprecated; the table self-sizes
 	e.nodeEpoch.Init(0)
 	e.gc = gc.NewCollector(func() uint64 {
 		// Load the clock FIRST, then sweep the table minima and the reader
@@ -310,6 +314,17 @@ func (e *Engine) LoadRow(t *storage.Table, payload []byte) {
 // Oracle exposes the timestamp oracle (tests and diagnostics).
 func (e *Engine) Oracle() *ts.Oracle { return &e.oracle }
 
+// FunnelStats returns the oracle combining funnel's counters: every
+// transaction-ID, end-timestamp, and batch-block draw flows through the
+// funnel, so Physical is the engine's total oracle fetch-and-add count
+// (excluding bulk loads and recovery).
+func (e *Engine) FunnelStats() ts.FunnelStats { return e.funnel.Stats() }
+
+// PinTableOverflows returns how many reader-pin acquisitions found the
+// striped pin table full (each fell back to a watermark-visible slow path:
+// registration for read-only begins, plain Begins for batches).
+func (e *Engine) PinTableOverflows() uint64 { return e.pins.Overflows() }
+
 // TxnTable exposes the transaction table (tests and diagnostics).
 func (e *Engine) TxnTable() *txn.Table { return e.txns }
 
@@ -349,7 +364,7 @@ func (e *Engine) Stats() Stats {
 // the object is recycled, but a recycled object belongs to a new
 // transaction).
 func (e *Engine) Begin(scheme Scheme, iso Isolation) *Tx {
-	id := e.oracle.Next()
+	id := e.funnel.Next()
 	tx := e.getTx(id, id, scheme, iso)
 	tx.registered = true
 	e.txns.Register(tx.T)

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/gc"
 	"repro/internal/storage"
 )
 
@@ -332,8 +333,9 @@ func TestOrderedRecycleStress(t *testing.T) {
 	}
 }
 
-// TestReaderPinSlotsConfig: the pin table honours Config.ReaderPinSlots and
-// overflows into the registered fallback beyond it.
+// TestReaderPinSlotsConfig: the self-sized striped pin table overflows into
+// the registered fallback once every slot is pinned, and recovers when slots
+// free up. (Config.ReaderPinSlots is deprecated and ignored.)
 func TestReaderPinSlotsConfig(t *testing.T) {
 	e := NewEngine(Config{DeadlockInterval: -1, ReaderPinSlots: 2})
 	defer e.Close()
@@ -346,22 +348,38 @@ func TestReaderPinSlotsConfig(t *testing.T) {
 	}
 	e.LoadRow(tbl, testPayload(1, 1))
 
-	r1, r2, r3 := e.BeginReadOnly(), e.BeginReadOnly(), e.BeginReadOnly()
+	total := e.pins.Slots()
+	if total < gc.DefaultPinSlots {
+		t.Fatalf("pin table capacity %d below the documented floor %d", total, gc.DefaultPinSlots)
+	}
+	readers := make([]*Tx, 0, total+1)
+	for i := 0; i < total; i++ {
+		readers = append(readers, e.BeginReadOnly())
+	}
 	s := e.Stats()
-	if s.ReadOnlyBegins != 2 || s.PinOverflows != 1 {
-		t.Fatalf("fast-lane begins = %d, overflows = %d; want 2, 1", s.ReadOnlyBegins, s.PinOverflows)
+	if s.ReadOnlyBegins != uint64(total) || s.PinOverflows != 0 {
+		t.Fatalf("fast-lane begins = %d, overflows = %d; want %d, 0", s.ReadOnlyBegins, s.PinOverflows, total)
+	}
+	over := e.BeginReadOnly() // table full: registered fallback
+	readers = append(readers, over)
+	s = e.Stats()
+	if s.ReadOnlyBegins != uint64(total) || s.PinOverflows != 1 {
+		t.Fatalf("after overflow: begins = %d, overflows = %d; want %d, 1", s.ReadOnlyBegins, s.PinOverflows, total)
+	}
+	if got := e.PinTableOverflows(); got != 1 {
+		t.Fatalf("PinTableOverflows = %d, want 1", got)
 	}
 	// The overflow reader still works, just registered.
-	if v, ok := readVal(t, r3, tbl, 1); !ok || v != 1 {
+	if v, ok := readVal(t, over, tbl, 1); !ok || v != 1 {
 		t.Fatalf("overflow reader read %d,%v", v, ok)
 	}
-	for _, tx := range []*Tx{r1, r2, r3} {
+	for _, tx := range readers {
 		mustCommit(t, tx)
 	}
 	// Slots freed: the fast lane is available again.
-	r4 := e.BeginReadOnly()
-	if got := e.Stats().ReadOnlyBegins; got != 3 {
-		t.Fatalf("ReadOnlyBegins = %d, want 3", got)
+	r := e.BeginReadOnly()
+	if got := e.Stats().ReadOnlyBegins; got != uint64(total)+1 {
+		t.Fatalf("ReadOnlyBegins = %d, want %d", got, total+1)
 	}
-	mustCommit(t, r4)
+	mustCommit(t, r)
 }

@@ -69,7 +69,7 @@ func (e *Engine) Capture(tables []*Table, fn func(t *Table, key uint64, payload 
 	// All locks are held: no writer is between its end-sequence draw and its
 	// lock release, so the counter cleanly splits writers into "captured"
 	// and "after the checkpoint".
-	return e.endSeq.Load(), nil
+	return e.endSeq.Current(), nil
 }
 
 // AdvanceSequences raises the transaction-ID and end-sequence counters to at
@@ -83,10 +83,5 @@ func (e *Engine) AdvanceSequences(past uint64) {
 			break
 		}
 	}
-	for {
-		cur := e.endSeq.Load()
-		if cur >= past || e.endSeq.CompareAndSwap(cur, past) {
-			break
-		}
-	}
+	e.endSeq.AdvanceTo(past)
 }

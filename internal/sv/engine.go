@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/gc"
 	"repro/internal/storage"
+	"repro/internal/ts"
 	"repro/internal/wal"
 )
 
@@ -48,9 +49,14 @@ type Stats struct {
 
 // Engine is the single-version locking storage engine ("1V").
 type Engine struct {
-	cfg    Config
-	txSeq  atomic.Uint64
-	endSeq atomic.Uint64
+	cfg   Config
+	txSeq atomic.Uint64
+	// endSeq orders committed writers; draws go through endFunnel so
+	// committers whose locked regions overlap in time share one
+	// fetch-and-add (the draw still happens while all 2PL locks are held —
+	// the funnel linearizes it inside the call; see ts.Funnel).
+	endSeq    ts.Oracle
+	endFunnel *ts.Funnel
 
 	tablesMu sync.RWMutex
 	tables   map[string]*Table
@@ -90,6 +96,7 @@ func NewEngine(cfg Config) *Engine {
 		cfg.ReclaimQuota = 256
 	}
 	e := &Engine{cfg: cfg, tables: make(map[string]*Table)}
+	e.endFunnel = ts.NewFunnel(&e.endSeq)
 	e.nodeEpoch.Init(0)
 	return e
 }
@@ -144,8 +151,17 @@ func (e *Engine) Stats() Stats {
 // drawn, end timestamps drawn). The read-only fast lane's contract is that a
 // read transaction advances neither.
 func (e *Engine) Counters() (txSeq, endSeq uint64) {
-	return e.txSeq.Load(), e.endSeq.Load()
+	return e.txSeq.Load(), e.endSeq.Current()
 }
+
+// FunnelStats returns the end-sequence combining funnel's counters.
+// Physical is the number of fetch-and-adds actually issued on the shared
+// end-sequence counter.
+func (e *Engine) FunnelStats() ts.FunnelStats { return e.endFunnel.Stats() }
+
+// PinTableOverflows reports how many node-epoch pin acquisitions found every
+// reader-pin slot occupied (each such entry took the slow registered path).
+func (e *Engine) PinTableOverflows() uint64 { return e.nodeEpoch.Overflows() }
 
 // Table is a single-version table: records linked into one chain per index
 // key (hash bucket or skip-list node), with the lock machinery embedded in

@@ -1,0 +1,178 @@
+package ts
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestFunnelSequential: with a single goroutine the funnel behaves exactly
+// like the bare oracle — every draw is direct, no batches form.
+func TestFunnelSequential(t *testing.T) {
+	var o Oracle
+	f := NewFunnel(&o)
+	if got := f.Next(); got != 1 {
+		t.Fatalf("first draw = %d, want 1", got)
+	}
+	if got := f.NextN(10); got != 2 {
+		t.Fatalf("block draw start = %d, want 2", got)
+	}
+	if got := f.Next(); got != 12 {
+		t.Fatalf("draw after block = %d, want 12", got)
+	}
+	s := f.Stats()
+	if s.Draws != 3 || s.Physical != 3 || s.Combined != 0 || s.Batches != 0 {
+		t.Fatalf("sequential stats = %+v, want 3 draws, 3 physical, no combining", s)
+	}
+	if r := s.Ratio(); r != 1 {
+		t.Fatalf("sequential ratio = %v, want 1", r)
+	}
+}
+
+// TestFunnelCombineDeterministic forces one combining round by hand: with
+// the funnel lock held, two goroutines enroll as waiters; the lock holder
+// then runs a round and must serve both with a single fetch-and-add.
+func TestFunnelCombineDeterministic(t *testing.T) {
+	var o Oracle
+	f := NewFunnel(&o)
+
+	f.mu.Lock() // stand in for a draw in flight
+
+	var wg sync.WaitGroup
+	results := make([]uint64, 2)
+	sizes := []uint64{1, 5}
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = f.NextN(sizes[i])
+		}(i)
+	}
+	// Wait until both waiters are enrolled. Their TryLock always fails (we
+	// hold the lock), so they cannot serve themselves.
+	for {
+		n := 0
+		for w := f.head.Load(); w != nil; w = w.next {
+			n++
+		}
+		if n == 2 {
+			break
+		}
+		runtime.Gosched()
+	}
+
+	// Run the round as the combiner with a request of our own.
+	start := f.combine(2, false) // combine unlocks f.mu
+	wg.Wait()
+
+	if start != 1 {
+		t.Fatalf("combiner start = %d, want 1", start)
+	}
+	// One fetch-and-add covered 2 + 1 + 5 timestamps.
+	if got := o.Current(); got != 8 {
+		t.Fatalf("oracle after combined round = %d, want 8", got)
+	}
+	// The three ranges partition [1,8] without overlap.
+	got := append([]uint64{start}, results...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if got[0] != 1 {
+		t.Fatalf("ranges = %v, want to start at 1", got)
+	}
+	s := f.Stats()
+	if s.Physical != 1 || s.Draws != 3 || s.Combined != 2 || s.Batches != 1 {
+		t.Fatalf("combined stats = %+v, want 1 physical, 3 draws, 2 combined, 1 batch", s)
+	}
+	if r := s.Ratio(); r != 3 {
+		t.Fatalf("ratio = %v, want 3", r)
+	}
+}
+
+// TestFunnelWaiterSelfService: a waiter enrolled behind a stalled combiner
+// must eventually serve itself once the lock frees — no draw may depend on
+// another draw arriving.
+func TestFunnelWaiterSelfService(t *testing.T) {
+	var o Oracle
+	f := NewFunnel(&o)
+
+	f.mu.Lock()
+	done := make(chan uint64)
+	go func() { done <- f.Next() }()
+	for f.head.Load() == nil {
+		runtime.Gosched()
+	}
+	// Drop the lock WITHOUT running a round: the waiter must lock, drain
+	// the stack (finding itself), and complete on its own.
+	f.mu.Unlock()
+	if got := <-done; got != 1 {
+		t.Fatalf("self-served draw = %d, want 1", got)
+	}
+}
+
+// TestFunnelStress: many goroutines drawing concurrently (mixed sizes) must
+// receive globally unique, per-goroutine monotone ranges that never exceed
+// the oracle, and the stats must account for every draw.
+func TestFunnelStress(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	var o Oracle
+	f := NewFunnel(&o)
+
+	const workers = 8
+	const draws = 5000
+	type block struct{ start, n uint64 }
+	blocks := make([][]block, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]block, 0, draws)
+			for i := 0; i < draws; i++ {
+				n := uint64(1 + (i+w)%3)
+				s := f.NextN(n)
+				mine = append(mine, block{s, n})
+			}
+			blocks[w] = mine
+		}(w)
+	}
+	wg.Wait()
+
+	var total uint64
+	seen := make(map[uint64]bool)
+	for w := range blocks {
+		prev := uint64(0)
+		for _, b := range blocks[w] {
+			if b.start == 0 {
+				t.Fatalf("worker %d drew start 0", w)
+			}
+			if b.start <= prev {
+				t.Fatalf("worker %d: draw start %d not after previous block end %d", w, b.start, prev)
+			}
+			for v := b.start; v < b.start+b.n; v++ {
+				if seen[v] {
+					t.Fatalf("timestamp %d issued twice", v)
+				}
+				seen[v] = true
+			}
+			prev = b.start + b.n - 1
+			total += b.n
+		}
+	}
+	if cur := o.Current(); cur < total {
+		t.Fatalf("oracle at %d but %d timestamps issued", cur, total)
+	}
+	s := f.Stats()
+	if s.Draws != workers*draws {
+		t.Fatalf("stats.Draws = %d, want %d", s.Draws, workers*draws)
+	}
+	// Every draw is either a physical fetch-and-add or rode one; a waiter
+	// that self-serves counts in both, so the two sides bound Draws rather
+	// than partitioning it exactly.
+	if s.Draws < s.Physical || s.Draws > s.Physical+s.Combined {
+		t.Fatalf("stats out of bounds: physical %d, combined %d, draws %d",
+			s.Physical, s.Combined, s.Draws)
+	}
+	t.Logf("stress: %d draws, %d physical, %d combined in %d batches (ratio %.2f)",
+		s.Draws, s.Physical, s.Combined, s.Batches, s.Ratio())
+}
