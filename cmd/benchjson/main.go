@@ -229,7 +229,7 @@ func runMix(b *testing.B, db *core.Database, level core.Isolation, fn bench.TxFn
 			for {
 				tx := db.Begin(core.WithIsolation(level))
 				if _, err := fn(tx, rng); err != nil {
-					tx.Abort()
+					_ = tx.Abort()
 					continue
 				}
 				if tx.Commit() == nil {
@@ -290,7 +290,7 @@ func readMostly(scheme core.Scheme, fastLane bool, sp *SweepPoint) func(*testing
 						tx = db.Begin(core.WithIsolation(core.ReadCommitted))
 					}
 					if _, err := fn(tx, rng); err != nil {
-						tx.Abort()
+						_ = tx.Abort()
 						continue
 					}
 					if tx.Commit() == nil {
@@ -332,7 +332,7 @@ func commitStorm(scheme core.Scheme, sp *SweepPoint) func(*testing.B) {
 				for {
 					tx := batch.Begin()
 					if _, err := h.Run(tx, rng); err != nil {
-						tx.Abort()
+						_ = tx.Abort()
 						continue
 					}
 					if tx.Commit() == nil {
@@ -408,7 +408,7 @@ func measureCounterDelta(n int) (delta, pinOver uint64, err error) {
 	for i := 0; i < n; i++ {
 		tx := db.BeginReadOnly()
 		if _, err := rd.Run(tx, rng); err != nil {
-			tx.Abort()
+			_ = tx.Abort()
 			return 0, 0, fmt.Errorf("read-only txn failed: %w", err)
 		}
 		if err := tx.Commit(); err != nil {
@@ -484,7 +484,7 @@ func measureCounterDelta1V(n int) (delta, pinOver uint64, err error) {
 	for i := 0; i < n; i++ {
 		tx := db.BeginReadOnly()
 		if _, err := rd.Run(tx, rng); err != nil {
-			tx.Abort()
+			_ = tx.Abort()
 			return 0, 0, fmt.Errorf("1V read-only txn failed: %w", err)
 		}
 		if err := tx.Commit(); err != nil {
@@ -530,7 +530,7 @@ func tatpMix(scheme core.Scheme) func(*testing.B) {
 				// TATP counts failed transactions without retrying them.
 				tx := db.Begin(core.WithIsolation(core.ReadCommitted))
 				if _, err := fn(tx, rng); err != nil {
-					tx.Abort()
+					_ = tx.Abort()
 					continue
 				}
 				_ = tx.Commit()
@@ -580,7 +580,7 @@ func tatpBatch(scheme core.Scheme, sp *SweepPoint) func(*testing.B) {
 				}
 				tx := batch.Begin()
 				if _, err := fn(tx, rng); err != nil {
-					tx.Abort()
+					_ = tx.Abort()
 					continue
 				}
 				_ = tx.Commit()
@@ -638,7 +638,7 @@ func measureRecovery() (*RecoveryResult, error) {
 			if _, err := tx.UpdateWhere(tbl, 0, k, nil, func(old []byte) []byte {
 				return workload.Row(k, rng.Uint64())
 			}); err != nil {
-				tx.Abort()
+				_ = tx.Abort()
 				return err
 			}
 			if err := tx.Commit(); err != nil {
@@ -701,14 +701,14 @@ func measureRecovery() (*RecoveryResult, error) {
 		return nil, err
 	}
 	logOnly := time.Since(startA)
-	storeA.Close()
+	_ = storeA.Close()
 
 	// Path B: checkpoint partitions + filtered tail.
 	storeB, err := ckpt.OpenStore(dir)
 	if err != nil {
 		return nil, err
 	}
-	defer storeB.Close()
+	defer func() { _ = storeB.Close() }()
 	dbB, err := core.Open(core.Config{Scheme: core.MVOptimistic})
 	if err != nil {
 		return nil, err
@@ -778,14 +778,14 @@ func measureSyncCommit(d time.Duration) (*SyncCommitResult, error) {
 			LockTimeout: 10 * time.Millisecond,
 		})
 		if err != nil {
-			store.Close()
+			_ = store.Close()
 			os.RemoveAll(dir)
 			return nil, err
 		}
 		tbl, err := workload.Table(db, rows)
 		if err != nil {
 			db.Close()
-			store.Close()
+			_ = store.Close()
 			os.RemoveAll(dir)
 			return nil, err
 		}
@@ -806,7 +806,7 @@ func measureSyncCommit(d time.Duration) (*SyncCommitResult, error) {
 					if _, err := tx.UpdateWhere(tbl, 0, k, nil, func(old []byte) []byte {
 						return workload.Row(k, rng.Uint64())
 					}); err != nil {
-						tx.Abort()
+						_ = tx.Abort()
 						continue
 					}
 					if err := tx.Commit(); err == nil {
@@ -822,7 +822,7 @@ func measureSyncCommit(d time.Duration) (*SyncCommitResult, error) {
 		elapsed := time.Since(start)
 		st := db.LogStats()
 		db.Close()
-		store.Close()
+		_ = store.Close()
 		os.RemoveAll(dir)
 		if err, _ := firstErr.Load().(error); err != nil {
 			return nil, fmt.Errorf("sync-commit %s: %w", l.name, err)

@@ -1,0 +1,103 @@
+// Command mvlint runs the repo-invariant analyzer suite over the tree and
+// fails on any unsuppressed diagnostic. It is a required CI step:
+//
+//	go run ./cmd/mvlint ./...
+//
+// Flags:
+//
+//	-json  machine-readable output: diagnostics, suppressions, analyzer totals
+//	-list  enumerate analyzers with active/suppressed counts (exit 0), so
+//	       reviews can diff suppression totals between PRs
+//
+// Suppression is explicit and reasoned: //mvlint:ignore <analyzer> <reason>
+// on the diagnostic's line or the line above. Every suppression in force is
+// listed in the summary. See docs/lint.md for the analyzer catalogue.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
+	list := flag.Bool("list", false, "list analyzers and suppression counts, then exit 0")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvlint:", err)
+		os.Exit(2)
+	}
+	analyzers := lint.Analyzers()
+	res, err := lint.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvlint:", err)
+		os.Exit(2)
+	}
+
+	counts := res.Counts()
+	if *jsonOut {
+		type analyzerJSON struct {
+			Name       string `json:"name"`
+			Doc        string `json:"doc"`
+			Active     int    `json:"active"`
+			Suppressed int    `json:"suppressed"`
+		}
+		out := struct {
+			Analyzers   []analyzerJSON    `json:"analyzers"`
+			Diagnostics []lint.Diagnostic `json:"diagnostics"`
+		}{Diagnostics: res.Diagnostics}
+		for _, a := range analyzers {
+			c := counts[a.Name]
+			out.Analyzers = append(out.Analyzers, analyzerJSON{a.Name, a.Doc, c[0], c[1]})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mvlint:", err)
+			os.Exit(2)
+		}
+		if !*list && res.Failed() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		fmt.Printf("%-14s %-8s %-10s doc\n", "analyzer", "active", "suppressed")
+		for _, a := range analyzers {
+			c := counts[a.Name]
+			fmt.Printf("%-14s %-8d %-10d %s\n", a.Name, c[0], c[1], a.Doc)
+		}
+		fmt.Printf("%d suppression(s) in force\n", len(res.Suppressions()))
+		return
+	}
+
+	active := 0
+	for _, d := range res.Diagnostics {
+		if !d.Suppressed {
+			fmt.Println(d)
+			active++
+		}
+	}
+	if sup := res.Suppressions(); len(sup) > 0 {
+		fmt.Printf("suppressions in force (%d):\n", len(sup))
+		for _, d := range sup {
+			fmt.Printf("  %s: [%s] waived: %s\n", d.Pos, d.Analyzer, d.Reason)
+		}
+	}
+	if active > 0 {
+		fmt.Printf("mvlint: %d diagnostic(s)\n", active)
+		os.Exit(1)
+	}
+}

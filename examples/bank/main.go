@@ -91,7 +91,7 @@ func run(scheme core.Scheme) {
 				total += balance(r.Payload())
 			}
 			if !okRun {
-				tx.Abort()
+				_ = tx.Abort()
 				continue
 			}
 			if tx.Commit() != nil {
@@ -175,7 +175,7 @@ func transfer(tx *core.Tx, tbl *core.Table, from, to uint64, amount int64) bool 
 			return row(s.acct, balance(old)+s.delta)
 		})
 		if err != nil || n != 1 {
-			tx.Abort()
+			_ = tx.Abort()
 			return false
 		}
 	}

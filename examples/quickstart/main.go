@@ -107,7 +107,7 @@ func main() {
 		return row(3, 2)
 	})
 	fmt.Printf("second writer got conflict: %v\n", err != nil)
-	t2.Abort()
+	_ = t2.Abort()
 	if err := t1.Commit(); err != nil {
 		log.Fatal(err)
 	}

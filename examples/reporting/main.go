@@ -72,7 +72,7 @@ func run(scheme core.Scheme) {
 				if _, err := tx.UpdateWhere(tbl, 0, k, nil, func(old []byte) []byte {
 					return row(k, rng.Uint64())
 				}); err != nil {
-					tx.Abort()
+					_ = tx.Abort()
 					continue
 				}
 				if tx.Commit() == nil {
@@ -111,7 +111,7 @@ func run(scheme core.Scheme) {
 					}
 				}
 				if failed {
-					tx.Abort()
+					_ = tx.Abort()
 					continue
 				}
 				if tx.Commit() == nil {

@@ -29,22 +29,23 @@ import (
 )
 
 // Fault points understood by the store. Arm them on the wal.Faults registry
-// passed to SetFaults.
+// passed to SetFaults. The names are aliases into the central fault-point
+// registry (wal/faults.go, enforced by mvlint's faultpoint analyzer).
 const (
 	// FaultWALTear tears a group-commit batch mid-write: a prefix of the
 	// batch reaches the segment, then the store freezes. The tail of the
 	// batch — typically mid-record — is the torn tail recovery tolerates.
-	FaultWALTear = "wal.tear"
+	FaultWALTear = wal.FaultWALTear
 	// FaultWALFreeze freezes after a batch fully reaches the segment: the
 	// kill lands between the flush and later commit acknowledgements.
-	FaultWALFreeze = "wal.freeze"
+	FaultWALFreeze = wal.FaultWALFreeze
 	// FaultPartWrite tears a checkpoint partition write and freezes: a crash
 	// mid-checkpoint, before the manifest exists.
-	FaultPartWrite = "ckpt.partition"
+	FaultPartWrite = wal.FaultCkptPartition
 	// FaultManifest freezes after the manifest file is written but before
 	// CURRENT flips to it: the checkpoint is complete on disk yet invisible,
 	// so recovery uses the previous checkpoint (or none).
-	FaultManifest = "ckpt.manifest"
+	FaultManifest = wal.FaultCkptManifest
 )
 
 // ErrFrozen is returned by operations refused because the store froze at an

@@ -125,11 +125,6 @@ type Config struct {
 	DisableSpeculation bool
 	// DisableEagerUpdates turns off MV/L eager updates (ablation).
 	DisableEagerUpdates bool
-	// ReaderPinSlots is deprecated and ignored: the reader-pin table is
-	// striped per processor and sizes itself from runtime.NumCPU (see
-	// gc.ReaderPins). The field remains so existing configurations keep
-	// compiling; it has no effect.
-	ReaderPinSlots int
 }
 
 // Database is a main-memory database instance backed by one engine.

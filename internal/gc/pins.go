@@ -19,8 +19,10 @@ const minStripeSlots = 8
 
 // pinSlot is one published read timestamp, padded to a cache line so
 // neighbouring pins don't false-share under concurrent Acquire/Release.
+//
+//mvlint:padded
 type pinSlot struct {
-	v atomic.Uint64
+	v atomic.Uint64 //mvlint:cacheline
 	_ [56]byte
 }
 
@@ -41,8 +43,10 @@ type stripeCache struct {
 // it once, after clearing a slot. The padding keeps a stripe's hot word (the
 // stamp, touched by every local Acquire/Release) off its neighbours' cache
 // lines; the slots themselves are individually padded.
+//
+//mvlint:padded
 type pinStripe struct {
-	stamp atomic.Uint64
+	stamp atomic.Uint64 //mvlint:cacheline
 	cache atomic.Pointer[stripeCache]
 	slots []pinSlot
 	_     [24]byte
@@ -158,6 +162,8 @@ func (p *ReaderPins) Stripes() int { return len(p.stripes) }
 // to a mechanism the watermark can see, e.g. table registration). rt of 0
 // (pristine oracle) is promoted to 1 so the slot never looks free; nothing
 // is visible at read time 0, so the stricter pin is harmless.
+//
+//mvlint:noalloc
 func (p *ReaderPins) Acquire(rt uint64) int {
 	ns := len(p.stripes)
 	if ns == 0 {
@@ -201,6 +207,8 @@ func (p *ReaderPins) Acquire(rt uint64) int {
 
 // Release frees a slot returned by Acquire and recycles its affinity token.
 // The owner must have finished every read that depended on the pin.
+//
+//mvlint:noalloc
 func (p *ReaderPins) Release(slot int) {
 	st := &p.stripes[slot/p.per]
 	st.slots[slot%p.per].v.Store(0)

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden-corpus convention: a `want "regex"` comment (line or block) on
+// line L expects exactly one unsuppressed diagnostic on line L of the same
+// file whose message matches the regex; several quoted patterns on one
+// comment expect several diagnostics. Every want must be matched and every
+// diagnostic must be wanted.
+var (
+	wantRE = regexp.MustCompile(`(?://|/\*) want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+	patRE  = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+type wantKey struct {
+	file string // basename
+	line int
+}
+
+func runCorpus(t *testing.T, dir string, analyzers []*Analyzer) *Result {
+	t.Helper()
+	prog, err := Load([]string{dir})
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	res, err := Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("run %s: %v", dir, err)
+	}
+
+	wants := make(map[wantKey][]*regexp.Regexp)
+	matched := make(map[wantKey][]bool)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			k := wantKey{e.Name(), i + 1}
+			for _, p := range patRE.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(p[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, p[1], err)
+				}
+				wants[k] = append(wants[k], re)
+				matched[k] = append(matched[k], false)
+			}
+		}
+	}
+
+	for _, d := range res.Diagnostics {
+		if d.Suppressed {
+			continue
+		}
+		k := wantKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", k.file, k.line, d.Analyzer, d.Message)
+		}
+	}
+	for k, ms := range matched {
+		for i, ok := range ms {
+			if !ok {
+				t.Errorf("%s:%d: want %q matched no diagnostic", k.file, k.line, wants[k][i])
+			}
+		}
+	}
+	return res
+}
+
+func TestLockedOracleCorpus(t *testing.T) {
+	runCorpus(t, filepath.Join("testdata", "lockedoracle"), []*Analyzer{LockedOracle})
+}
+
+func TestErrLatchCorpus(t *testing.T) {
+	runCorpus(t, filepath.Join("testdata", "errlatch"), []*Analyzer{ErrLatch})
+}
+
+func TestFaultPointCorpus(t *testing.T) {
+	runCorpus(t, filepath.Join("testdata", "faultpoint"), []*Analyzer{FaultPoint})
+}
+
+func TestPadCheckCorpus(t *testing.T) {
+	runCorpus(t, filepath.Join("testdata", "padcheck"), []*Analyzer{PadCheck})
+}
+
+func TestNoAllocCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build")
+	}
+	runCorpus(t, filepath.Join("testdata", "noalloc"), []*Analyzer{NoAlloc})
+}
+
+// TestIgnoreMechanics checks the waiver lifecycle over its corpus: the
+// waived diagnostic is suppressed but retained with its reason, the stale
+// waiver and the reasonless waiver are diagnostics of their own.
+func TestIgnoreMechanics(t *testing.T) {
+	res := runCorpus(t, filepath.Join("testdata", "ignore"), []*Analyzer{LockedOracle})
+	sup := res.Suppressions()
+	if len(sup) != 1 {
+		t.Fatalf("suppressions = %d, want 1: %v", len(sup), sup)
+	}
+	if want := "corpus fixture proving the waiver mechanism"; sup[0].Reason != want {
+		t.Errorf("suppression reason = %q, want %q", sup[0].Reason, want)
+	}
+	if !res.Failed() {
+		t.Error("corpus has unsuppressed diagnostics; Failed() = false")
+	}
+}

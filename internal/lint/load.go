@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one directory's worth of analyzed code. Files are the
+// non-test files, fully type-checked; TestFiles are parsed but not
+// type-checked (test packages would need their own build variants), so only
+// syntactic passes — the fault-point literal scan, //mvlint:ignore
+// collection — look at them.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Files      []*ast.File
+	TestFiles  []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// A Program is the loaded analysis target: every package matched by the
+// patterns, sharing one FileSet and one source importer.
+type Program struct {
+	Fset    *token.FileSet
+	Pkgs    []*Package
+	Sizes   types.Sizes
+	ModRoot string // module root directory (where go.mod lives)
+}
+
+// Position converts a token.Pos into a Position via the program's FileSet.
+func (p *Program) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// Load parses and type-checks the packages matched by patterns. Supported
+// patterns are Go-tool-style directory paths relative to the current
+// directory: "./..." (recursive, skipping testdata, vendor, hidden and
+// underscore directories) and explicit directories like "./internal/mv" —
+// explicit paths may name testdata packages, which is how the golden-corpus
+// harness loads its fixtures.
+func Load(patterns []string) (*Program, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule(cwd)
+	if err != nil {
+		return nil, err
+	}
+
+	dirSet := make(map[string]bool)
+	var dirs []string
+	addDir := func(d string) {
+		if !dirSet[d] {
+			dirSet[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Join(cwd, rest)
+			err := filepath.WalkDir(base, func(path string, de os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !de.IsDir() {
+					return nil
+				}
+				name := de.Name()
+				if path != base && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					addDir(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		d := pat
+		if !filepath.IsAbs(d) {
+			d = filepath.Join(cwd, d)
+		}
+		if !hasGoFiles(d) {
+			return nil, fmt.Errorf("no Go files in %s", d)
+		}
+		addDir(d)
+	}
+	sort.Strings(dirs)
+
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", "amd64")
+	}
+	prog := &Program{Fset: token.NewFileSet(), Sizes: sizes, ModRoot: modRoot}
+	imp := importer.ForCompiler(prog.Fset, "source", nil)
+
+	for _, dir := range dirs {
+		pkg, err := loadDir(prog, imp, dir, modRoot, modPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			prog.Pkgs = append(prog.Pkgs, pkg)
+		}
+	}
+	return prog, nil
+}
+
+// loadDir parses one directory and type-checks its non-test files.
+func loadDir(prog *Program, imp types.Importer, dir, modRoot, modPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	pkg := &Package{Dir: dir, ImportPath: importPath}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			pkg.Files = append(pkg.Files, f)
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    prog.Sizes,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns the first error too; TypeErrors already captured it.
+	pkg.Pkg, _ = conf.Check(importPath, prog.Fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

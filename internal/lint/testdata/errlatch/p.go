@@ -1,0 +1,57 @@
+// Package p is the errlatch golden corpus: implicitly discarded errors
+// from the durability path and transaction outcomes must be flagged;
+// explicit discards and handled errors must not.
+package p
+
+import (
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// droppedAppend is the PR 7 bug class: the log latches its first failure
+// and an unchecked Append is an acknowledged commit that was never durable.
+func droppedAppend(l *wal.Log, r *wal.Record) {
+	l.Append(r) // want "discarded error from .Log..Append"
+}
+
+func droppedInDeferAndGo(l *wal.Log) {
+	defer l.Close() // want "discarded error from .Log..Close"
+	go l.Flush()    // want "discarded error from .Log..Flush"
+}
+
+func handled(l *wal.Log, r *wal.Record) error {
+	if err := l.Append(r); err != nil {
+		return err
+	}
+	return l.Flush()
+}
+
+// explicit `_ =` is allowed: greppable and visibly deliberate.
+func explicitDiscard(l *wal.Log) {
+	_ = l.Close()
+}
+
+func droppedOutcome(tx *core.Tx) {
+	tx.Commit() // want "discarded error from .Tx..Commit"
+	tx.Abort()  // want "discarded error from .Tx..Abort"
+}
+
+func checkedOutcome(tx *core.Tx) error {
+	if err := tx.Commit(); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return nil
+}
+
+// methods of the same names outside the wal/ckpt/engine packages are out of
+// scope.
+type otherLog struct{}
+
+func (otherLog) Append(b []byte) error { return nil }
+func (otherLog) Close() error          { return nil }
+
+func outOfScope(o otherLog) {
+	o.Append(nil)
+	o.Close()
+}

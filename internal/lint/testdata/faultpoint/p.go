@@ -1,0 +1,35 @@
+// Package p is the faultpoint golden corpus: fault-point names reaching
+// the wal.Faults API must be declared in the annotated registry block.
+package p
+
+import "repro/internal/wal"
+
+// The corpus's own central registry.
+//
+//mvlint:faultregistry
+const (
+	// FaultDemoTear tears a demo write.
+	FaultDemoTear = "demo.tear"
+	// FaultDemoSync fails a demo sync.
+	FaultDemoSync = "demo.sync"
+)
+
+// Aliases propagate the constant value, so they pass membership.
+const aliasTear = FaultDemoTear
+
+func arm(f *wal.Faults) {
+	f.Arm(FaultDemoTear, 0)
+	f.Arm(aliasTear, 1)
+	f.Arm("demo.sync", 2)       // a literal with a registered value is fine
+	f.Arm("demo.taer", 0)       // want "not declared in the fault registry"
+	if f.Fire("demo.missing") { // want "not declared in the fault registry"
+		return
+	}
+	f.Disarm(FaultDemoSync)
+}
+
+// Dynamically computed names are out of the rule's reach; the construction
+// site's own constant is what gets checked.
+func dynamic(f *wal.Faults, point string) {
+	f.Fire(point)
+}

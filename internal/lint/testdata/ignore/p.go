@@ -1,0 +1,31 @@
+// Package p exercises the suppression mechanics: a waiver with a reason
+// suppresses its diagnostic, a stale waiver is itself a diagnostic, and a
+// reasonless waiver is malformed.
+package p
+
+import (
+	"runtime"
+	"sync"
+)
+
+var mu sync.Mutex
+
+func waived() {
+	mu.Lock()
+	//mvlint:ignore lockedoracle corpus fixture proving the waiver mechanism
+	runtime.Gosched()
+	mu.Unlock()
+}
+
+func stale() {
+	/* want "matches no diagnostic" */ //mvlint:ignore lockedoracle nothing here yields
+	mu.Lock()
+	mu.Unlock()
+}
+
+func malformed() {
+	mu.Lock()
+	/* want "reason is mandatory" */ //mvlint:ignore lockedoracle
+	runtime.Gosched()                // want "runtime.Gosched inside a mutex-locked region"
+	mu.Unlock()
+}

@@ -1,0 +1,43 @@
+// Package p is the noalloc golden corpus: annotated functions are verified
+// allocation-free against the compiler's own escape analysis.
+package p
+
+// sum is allocation-free: everything stays on the stack.
+//
+//mvlint:noalloc
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// stackOnly takes the address of a local that does not escape.
+//
+//mvlint:noalloc
+func stackOnly(n int) int {
+	v := n * 2
+	p := &v
+	return *p
+}
+
+// leak returns a fresh slice: the make escapes.
+//
+//mvlint:noalloc
+func leak(n int) []byte {
+	return make([]byte, n) // want "allocates"
+}
+
+// escapes leaks a local through a sink.
+//
+//mvlint:noalloc
+func escapes() *int {
+	v := 42 // want "allocates: v escapes to heap"
+	return &v
+}
+
+// unannotated functions may allocate freely.
+func free(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,39 @@
+// Package p is the padcheck golden corpus: layout claims of annotated
+// structs are checked against go/types' real field offsets.
+package p
+
+import "sync/atomic"
+
+// good is the canonical padded pair: two hot words on distinct lines,
+// total size a multiple of 64.
+//
+//mvlint:padded
+type good struct {
+	a atomic.Uint64 //mvlint:cacheline
+	_ [56]byte
+	b atomic.Uint64 //mvlint:cacheline
+	_ [56]byte
+}
+
+// badSize forgot its tail padding.
+//
+//mvlint:padded
+type badSize struct { // want "not a multiple of 64"
+	a uint64
+}
+
+// badAlign's marked field sits mid-line: the preceding field shares its
+// cache line. It is also on the same 64-byte line as the other marked
+// field, which is the false-sharing the annotation claims cannot happen.
+//
+//mvlint:padded
+type badAlign struct {
+	a uint64 //mvlint:cacheline
+	b uint64 //mvlint:cacheline // want "not 64-byte aligned" "share one 64-byte line"
+	_ [48]byte
+}
+
+// unannotated structs are not checked.
+type plain struct {
+	a uint64
+}

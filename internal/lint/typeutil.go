@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil when it cannot be resolved (dynamic calls, type conversions,
+// builtins, broken packages).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// recvInfo returns the name of the receiver's named base type and its
+// package path, or ("", "") for a non-method.
+func recvInfo(fn *types.Func) (typeName, pkgPath string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name(), ""
+	}
+	return obj.Name(), obj.Pkg().Path()
+}
+
+// isMethodOn reports whether fn is a method with the given name set on a
+// named type from a package whose import path has the given suffix. The
+// suffix match (rather than an exact path) lets the rules apply equally to
+// the real packages and to golden-corpus fixtures importing them.
+func isMethodOn(fn *types.Func, names []string, typeName, pathSuffix string) bool {
+	if fn == nil {
+		return false
+	}
+	ok := false
+	for _, n := range names {
+		if fn.Name() == n {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return false
+	}
+	tn, pp := recvInfo(fn)
+	if tn != typeName {
+		return false
+	}
+	return pp == pathSuffix || strings.HasSuffix(pp, "/"+pathSuffix) || strings.HasSuffix(pp, pathSuffix)
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// funcDoc returns the doc comment group of a function declaration.
+func funcDoc(fd *ast.FuncDecl) []*ast.CommentGroup {
+	return []*ast.CommentGroup{fd.Doc}
+}

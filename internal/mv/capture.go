@@ -44,7 +44,7 @@ func (e *Engine) Capture(tables []*storage.Table, fn func(t *storage.Table, key 
 		// watermark the same way through its begin timestamp.
 		tx := e.Begin(Optimistic, SnapshotIsolation)
 		tx.readOnly = true
-		release = func() { tx.Abort() }
+		release = func() { _ = tx.Abort() }
 	}
 	defer release()
 

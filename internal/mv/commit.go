@@ -34,6 +34,8 @@ func (tx *Tx) Commit() error {
 // is a fast commit — the transaction wrote nothing, held no locks and
 // needed no validation, so its commit point is unordered with respect to
 // every other transaction (fastCommittable).
+//
+//mvlint:noalloc
 func (tx *Tx) CommitTS() (uint64, error) {
 	if tx.done {
 		return 0, ErrTxDone
@@ -172,6 +174,7 @@ func (tx *Tx) CommitTS() (uint64, error) {
 
 	// Postprocessing: propagate the end timestamp into the Begin fields of
 	// new versions and the End fields of old versions (Section 3.3).
+	//mvlint:ignore noalloc panic-path constant from inlined field.FromTS; only materializes if the 63-bit timestamp invariant is already broken
 	endWord := field.FromTS(end)
 	for i := range tx.writeSet {
 		wr := &tx.writeSet[i]
@@ -231,6 +234,8 @@ func (tx *Tx) fastCommittable() bool {
 // commitFast commits a transaction that fastCommittable approved: no end
 // timestamp, no preparation phase, no postprocessing. Outstanding commit
 // dependencies from speculative reads are still honored.
+//
+//mvlint:noalloc
 func (tx *Tx) commitFast() error {
 	if tx.T.AbortRequested() {
 		tx.e.cascadingAborts.Add(1)
@@ -256,6 +261,8 @@ func (tx *Tx) commitFast() error {
 // finalizeEnd replaces tx's write lock on v with the commit timestamp. All
 // read locks have necessarily drained: the last releaser set NoMoreReadLocks
 // and new readers cannot install wait-for dependencies after precommit.
+//
+//mvlint:noalloc
 func (tx *Tx) finalizeEnd(v *storage.Version, endWord uint64) {
 	for {
 		w := v.End()

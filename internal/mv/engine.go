@@ -77,11 +77,6 @@ type Config struct {
 	// of Section 4.2): updating a read-locked version or inserting into a
 	// locked bucket aborts instead of installing a wait-for dependency.
 	DisableEagerUpdates bool
-	// ReaderPinSlots is deprecated and ignored: the reader-pin table is now
-	// striped per processor and sizes itself from runtime.NumCPU (see
-	// gc.ReaderPins). Overflow still falls back to registered transactions,
-	// costing one oracle draw each.
-	ReaderPinSlots int
 }
 
 // Stats aggregates engine-wide counters.
@@ -224,7 +219,7 @@ func NewEngine(cfg Config) *Engine {
 		tables: make(map[string]*storage.Table),
 	}
 	e.funnel = ts.NewFunnel(&e.oracle)
-	e.pins.Init(0) // cfg.ReaderPinSlots is deprecated; the table self-sizes
+	e.pins.Init(0) // the pin table self-sizes from runtime.NumCPU
 	e.nodeEpoch.Init(0)
 	e.gc = gc.NewCollector(func() uint64 {
 		// Load the clock FIRST, then sweep the table minima and the reader
@@ -363,6 +358,8 @@ func (e *Engine) Stats() Stats {
 // Commit or Abort returns (both report ErrTxDone on accidental reuse before
 // the object is recycled, but a recycled object belongs to a new
 // transaction).
+//
+//mvlint:noalloc
 func (e *Engine) Begin(scheme Scheme, iso Isolation) *Tx {
 	id := e.funnel.Next()
 	tx := e.getTx(id, id, scheme, iso)
@@ -404,6 +401,8 @@ func (e *Engine) getTx(id, begin uint64, scheme Scheme, iso Isolation) *Tx {
 // with ErrReadOnlyTx. When all pin slots are occupied the engine falls back
 // to a registered snapshot transaction with identical semantics (the
 // fallback draws one timestamp).
+//
+//mvlint:noalloc
 func (e *Engine) BeginReadOnly() *Tx {
 	// Publish a provisional pin BEFORE choosing the snapshot time; see
 	// gc.ReaderPins for why this ordering makes the watermark safe.

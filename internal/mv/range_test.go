@@ -333,11 +333,11 @@ func TestOrderedRecycleStress(t *testing.T) {
 	}
 }
 
-// TestReaderPinSlotsConfig: the self-sized striped pin table overflows into
+// TestReaderPinOverflow: the self-sized striped pin table overflows into
 // the registered fallback once every slot is pinned, and recovers when slots
-// free up. (Config.ReaderPinSlots is deprecated and ignored.)
-func TestReaderPinSlotsConfig(t *testing.T) {
-	e := NewEngine(Config{DeadlockInterval: -1, ReaderPinSlots: 2})
+// free up.
+func TestReaderPinOverflow(t *testing.T) {
+	e := NewEngine(Config{DeadlockInterval: -1})
 	defer e.Close()
 	tbl, err := e.CreateTable(storage.TableSpec{
 		Name:    "t",

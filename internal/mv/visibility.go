@@ -28,6 +28,8 @@ type visOutcome struct {
 // read-only fast-lane transaction, ID txn.Anonymous): real IDs start at 1,
 // so the own-write comparisons below are trivially false for it and every
 // other case is resolved purely through the writer's table entry.
+//
+//mvlint:noalloc
 func (e *Engine) checkVisibility(self *txn.Txn, v *storage.Version, rt uint64) visOutcome {
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 && attempt%64 == 0 {
@@ -176,6 +178,8 @@ func depIf(visible bool, dep *txn.Txn) *txn.Txn {
 // dependency. If the dependency target already resolved, the test is rerun
 // against its final state. The error is non-nil when the transaction must
 // abort (speculation disabled, or a dependency cascade).
+//
+//mvlint:noalloc
 func (tx *Tx) isVisible(v *storage.Version, rt uint64) (bool, error) {
 	for {
 		out := tx.e.checkVisibility(tx.T, v, rt)

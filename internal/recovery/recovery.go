@@ -127,20 +127,20 @@ func applyRecord(db *core.Database, tables TableSet, rec *wal.Record, st *Stats)
 	for _, op := range rec.Ops {
 		tbl, ok := tables[op.Table]
 		if !ok {
-			tx.Abort()
+			_ = tx.Abort()
 			return fmt.Errorf("recovery: record for unknown table %q", op.Table)
 		}
 		switch op.Op {
 		case wal.OpInsert:
 			if err := tx.Insert(tbl, op.Payload); err != nil {
-				tx.Abort()
+				_ = tx.Abort()
 				return fmt.Errorf("recovery: insert %s[%d]: %w", op.Table, op.Key, err)
 			}
 			st.Inserts++
 		case wal.OpUpdate:
 			row, found, err := tx.Lookup(tbl, 0, op.Key, nil)
 			if err != nil {
-				tx.Abort()
+				_ = tx.Abort()
 				return fmt.Errorf("recovery: lookup %s[%d]: %w", op.Table, op.Key, err)
 			}
 			if found {
@@ -152,18 +152,18 @@ func applyRecord(db *core.Database, tables TableSet, rec *wal.Record, st *Stats)
 				err = tx.Insert(tbl, op.Payload)
 			}
 			if err != nil {
-				tx.Abort()
+				_ = tx.Abort()
 				return fmt.Errorf("recovery: update %s[%d]: %w", op.Table, op.Key, err)
 			}
 			st.Updates++
 		case wal.OpDelete:
 			if _, err := tx.DeleteWhere(tbl, 0, op.Key, nil); err != nil {
-				tx.Abort()
+				_ = tx.Abort()
 				return fmt.Errorf("recovery: delete %s[%d]: %w", op.Table, op.Key, err)
 			}
 			st.Deletes++
 		default:
-			tx.Abort()
+			_ = tx.Abort()
 			return fmt.Errorf("recovery: unknown op %d", op.Op)
 		}
 	}
@@ -335,7 +335,7 @@ func restorePartition(db *core.Database, tbl *core.Table, path string, info ckpt
 				tx := db.Begin(core.WithIsolation(core.ReadCommitted))
 				for _, payload := range batch {
 					if err := tx.Insert(tbl, payload); err != nil {
-						tx.Abort()
+						_ = tx.Abort()
 						return err
 					}
 				}

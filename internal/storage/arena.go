@@ -88,6 +88,8 @@ func classFor(n int) int {
 // when the arena does not serve n bytes (the caller then falls back to the
 // regular allocator). The block's capacity is the class size, so Put can
 // recover the class from cap alone.
+//
+//mvlint:noalloc
 func (a *PayloadArena) Get(n int) []byte {
 	ci := classFor(n)
 	if ci < 0 {
@@ -118,26 +120,14 @@ func (a *PayloadArena) Get(n int) []byte {
 		a.reuses.Add(1)
 		return b[:n]
 	}
-	// Carve from the current chunk, growing when exhausted.
+	// Carve from the current chunk, growing when exhausted. The grow path
+	// lives in its own function so the steady-state Get stays allocation
+	// free (mvlint/noalloc): a chunk is carved into capacity blocks before
+	// the next make, so the amortized cost is size/arenaChunk allocations
+	// per Get.
 	d := c.carve
 	if d == nil || len(d.buf)-d.off < size {
-		cn := arenaChunk
-		if cn < size {
-			cn = size
-		}
-		buf := make([]byte, cn)
-		start := uintptr(unsafe.Pointer(unsafe.SliceData(buf)))
-		d = &arenaChunkDesc{
-			buf:      buf,
-			start:    start,
-			end:      start + uintptr(len(buf)),
-			capacity: cn / size,
-		}
-		i := sort.Search(len(c.chunks), func(i int) bool { return c.chunks[i].start > start })
-		c.chunks = append(c.chunks, nil)
-		copy(c.chunks[i+1:], c.chunks[i:])
-		c.chunks[i] = d
-		c.carve = d
+		d = c.growLocked(size)
 	}
 	b := d.buf[d.off : d.off+size : d.off+size]
 	d.off += size
@@ -146,9 +136,35 @@ func (a *PayloadArena) Get(n int) []byte {
 	return b[:n]
 }
 
+// growLocked allocates a fresh chunk for size-class blocks, registers it in
+// the address-sorted chunk index, and makes it the carve target. Caller
+// holds c.mu.
+func (c *arenaClass) growLocked(size int) *arenaChunkDesc {
+	cn := arenaChunk
+	if cn < size {
+		cn = size
+	}
+	buf := make([]byte, cn)
+	start := uintptr(unsafe.Pointer(unsafe.SliceData(buf)))
+	d := &arenaChunkDesc{
+		buf:      buf,
+		start:    start,
+		end:      start + uintptr(len(buf)),
+		capacity: cn / size,
+	}
+	i := sort.Search(len(c.chunks), func(i int) bool { return c.chunks[i].start > start })
+	c.chunks = append(c.chunks, nil)
+	copy(c.chunks[i+1:], c.chunks[i:])
+	c.chunks[i] = d
+	c.carve = d
+	return d
+}
+
 // Put recycles a block previously returned by Get. Blocks with a capacity
 // that is not an exact class size, or that belong to no live chunk
 // (defensive: they cannot have come from the arena), are ignored.
+//
+//mvlint:noalloc
 func (a *PayloadArena) Put(b []byte) {
 	size := cap(b)
 	if size < arenaMinClass || size > arenaMaxClass || size&(size-1) != 0 {

@@ -27,19 +27,34 @@ func (p *VersionPool) Get(payload []byte, nindexes int, begin, end uint64) *Vers
 
 // GetIn is Get with a payload arena (see Version.ResetIn): oversized
 // payloads are copied into a slab block recycled with the version.
+//
+//mvlint:noalloc
 func (p *VersionPool) GetIn(a *PayloadArena, payload []byte, nindexes int, begin, end uint64) *Version {
 	if v, ok := p.pool.Get().(*Version); ok {
 		p.reuses.Add(1)
 		v.ResetIn(a, payload, nindexes, begin, end)
 		return v
 	}
-	v := &Version{}
+	// Pool miss: the allocation lives in its own function so the recycled
+	// fast path stays allocation free (mvlint/noalloc).
+	v := newVersion()
 	v.ResetIn(a, payload, nindexes, begin, end)
 	return v
 }
 
+// newVersion is the pool-miss slow path. Marked noinline so the compiler
+// cannot fold the allocation back into GetIn's fast path (and so the
+// mvlint/noalloc escape attribution stays put).
+//
+//go:noinline
+func newVersion() *Version {
+	return &Version{}
+}
+
 // Put hands a quiesced version back for reuse. See the type comment for the
 // safety contract.
+//
+//mvlint:noalloc
 func (p *VersionPool) Put(v *Version) {
 	if v == nil {
 		return

@@ -110,6 +110,8 @@ func (s *SkipList[V]) nextAt(n *SkipNode[V], lvl int) *atomic.Pointer[SkipNode[V
 // findPred descends from the top level, returning the rightmost node at
 // level 0 whose key is < key (nil when the head is the predecessor). When
 // preds is non-nil it records the predecessor at every level for linking.
+//
+//mvlint:noalloc
 func (s *SkipList[V]) findPred(key uint64, preds *[skipMaxLevel]*SkipNode[V]) *SkipNode[V] {
 	var cur *SkipNode[V]
 	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
@@ -130,6 +132,8 @@ func (s *SkipList[V]) findPred(key uint64, preds *[skipMaxLevel]*SkipNode[V]) *S
 // Get returns the node with exactly key, or nil. Lock-free. The node may be
 // logically deleted (empty value); callers that intend to repopulate it must
 // go through Revive.
+//
+//mvlint:noalloc
 func (s *SkipList[V]) Get(key uint64) *SkipNode[V] {
 	pred := s.findPred(key, nil)
 	if n := s.nextAt(pred, 0).Load(); n != nil && n.key == key {
@@ -140,6 +144,8 @@ func (s *SkipList[V]) Get(key uint64) *SkipNode[V] {
 
 // Seek returns the first node with key >= lo, or nil. Lock-free; the
 // starting point of a range scan.
+//
+//mvlint:noalloc
 func (s *SkipList[V]) Seek(lo uint64) *SkipNode[V] {
 	pred := s.findPred(lo, nil)
 	return s.nextAt(pred, 0).Load()

@@ -532,6 +532,8 @@ func (tx *Tx) Commit() error {
 // anywhere inside the locked region, so history checkers stamp them
 // externally while the locks are still held (see
 // internal/core/serializability_test.go).
+//
+//mvlint:noalloc
 func (tx *Tx) CommitTS() (uint64, error) {
 	if tx.done {
 		return 0, ErrTxDone

@@ -216,7 +216,10 @@ func callFwdRow(sID uint64, sfType, startTime byte, rng *rand.Rand) []byte {
 // Validate performs structural sanity checks after load; used by tests.
 func (d *DB) Validate() error {
 	tx := d.Database.Begin(core.WithIsolation(core.ReadCommitted))
-	defer tx.Commit()
+	// Read-only: abort releases the transaction; there is no commit outcome
+	// to check (a deferred Commit would silently drop one if writes ever
+	// crept in here — mvlint/errlatch).
+	defer func() { _ = tx.Abort() }()
 	for s := uint64(1); s <= min(d.Subscribers, 64); s++ {
 		row, ok, err := tx.Lookup(d.Subscriber, SubBySID, s, func(p []byte) bool { return subSID(p) == s })
 		if err != nil || !ok {

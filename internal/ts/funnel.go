@@ -76,23 +76,32 @@ func (s FunnelStats) Ratio() float64 {
 // which never opens the window: a yield inside a locked region would extend
 // every blocked transaction's wait, trading oracle throughput for lock
 // latency exactly where it hurts.
+// The struct is laid out in three cache-line groups (mvlint/padcheck): the
+// combining words every committer hits (TryLock word, enroll stack, heat),
+// the waiter pool, and the mu-protected statistics counters, so pool and
+// counter traffic never invalidates the line the TryLock spin reads.
+//
+//mvlint:padded
 type Funnel struct {
-	oracle *Oracle
-
 	// mu serializes combiners. Only TryLock is ever used, so a goroutine
 	// never blocks in the runtime on it: losers enroll in the stack below.
-	mu   sync.Mutex
-	head atomic.Pointer[funnelWaiter]
-	heat atomic.Int32
-	pool sync.Pool
+	mu     sync.Mutex //mvlint:cacheline
+	head   atomic.Pointer[funnelWaiter]
+	heat   atomic.Int32
+	oracle *Oracle
+	_      [32]byte
+
+	pool sync.Pool //mvlint:cacheline
+	_    [24]byte
 
 	// Counters are updated only while holding mu (every draw is completed by
 	// some combiner), so the Adds are uncontended; atomics make the loads in
 	// Stats safe.
-	draws    atomic.Uint64
+	draws    atomic.Uint64 //mvlint:cacheline
 	physical atomic.Uint64
 	combined atomic.Uint64
 	batches  atomic.Uint64
+	_        [32]byte
 }
 
 // NewFunnel returns a funnel drawing from o.
@@ -173,6 +182,8 @@ func (f *Funnel) enroll(n uint64) uint64 {
 // FIRST n of the drawn block; the return value is their start (0 when n is
 // 0 and nothing was requested by the combiner). window permits the yield
 // below; lock-holding callers pass false.
+//
+//mvlint:locked
 func (f *Funnel) combine(n uint64, window bool) uint64 {
 	if window && f.heat.Load() > 0 {
 		// Combining window: contention was seen recently, so yield once
@@ -180,6 +191,7 @@ func (f *Funnel) combine(n uint64, window bool) uint64 {
 		// fail TryLock (we hold it), and enroll — the point of the funnel.
 		// On an uncontended engine heat is 0 and the draw goes straight
 		// through.
+		//mvlint:ignore lockedoracle the combining window IS a deliberate yield under mu (docs/perf.md); lock-holding callers pass window=false via NextLocked
 		runtime.Gosched()
 	}
 

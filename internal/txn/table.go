@@ -8,8 +8,10 @@ import (
 
 // atomicPaddedUint64 is an atomic uint64 padded out to a cache line so the
 // 64 shard minima don't false-share when OldestBegin sweeps them.
+//
+//mvlint:padded
 type atomicPaddedUint64 struct {
-	v atomic.Uint64
+	v atomic.Uint64 //mvlint:cacheline
 	_ [56]byte
 }
 
@@ -44,14 +46,19 @@ type Table struct {
 	shards [tableShards]tableShard
 }
 
+// tableShard puts the minimum first so the 64 minima form a stride-64
+// array OldestBegin sweeps with one load per line, and pads the tail so
+// one shard's lock/map traffic never lands on the next shard's minimum.
+//
+//mvlint:padded
 type tableShard struct {
-	mu sync.RWMutex
-	m  map[uint64]*Txn
 	// min is the smallest Begin among the shard's entries, or noMin when the
 	// shard is empty. Written under mu; read with an atomic load by
-	// OldestBegin. The padding keeps neighbouring shards' hot words off one
-	// cache line.
-	min atomicPaddedUint64
+	// OldestBegin.
+	min atomicPaddedUint64 //mvlint:cacheline
+	mu  sync.RWMutex       //mvlint:cacheline
+	m   map[uint64]*Txn
+	_   [32]byte
 }
 
 // NewTable returns an empty transaction table.

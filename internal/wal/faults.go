@@ -16,6 +16,51 @@ type Faults struct {
 	arms map[string]int
 }
 
+// The central fault-point registry: every name ever passed to Arm or Fire,
+// across the whole tree, is declared here. mvlint's faultpoint analyzer
+// enforces membership, so a typo'd point can never arm a fault that never
+// fires and silently turn a crash scenario into a no-crash run. When adding
+// a fault point, declare it in this block and reference the constant (or an
+// alias of it, like ckpt.FaultWALTear) at the arm/hit sites.
+//
+//mvlint:faultregistry
+const (
+	// FaultFileWriteErr fails a Write outright: no bytes reach the file and
+	// the caller sees ErrInjected. Models a transient I/O error.
+	FaultFileWriteErr = "file.writeerr"
+	// FaultFileShortWrite writes only a prefix of the buffer and returns
+	// io.ErrShortWrite with the short count — a torn frame mid-batch.
+	FaultFileShortWrite = "file.shortwrite"
+	// FaultFileENOSPC writes a prefix of the buffer and returns
+	// syscall.ENOSPC: the disk filled mid-batch.
+	FaultFileENOSPC = "file.enospc"
+	// FaultFileSyncErr fails a Sync and drops every byte written since the
+	// last successful sync — the fsyncgate semantics: the kernel reports the
+	// failure once, discards the dirty pages, and a retried fsync would
+	// falsely succeed over the hole. The file itself keeps working.
+	FaultFileSyncErr = "file.syncerr"
+	// FaultFileCrash is a power loss. During a Write it lets half of the
+	// buffer reach the file, then discards half of whatever sits past the
+	// last fsync barrier (a torn, partially-persisted page cache); during a
+	// Sync it discards everything past the barrier. Either way the device is
+	// then gone: every later operation returns ErrCrashed, so nothing can be
+	// acknowledged after the lights went out.
+	FaultFileCrash = "file.crash"
+	// FaultWALTear tears a group-commit batch mid-write in the checkpoint
+	// store's live segment: a prefix reaches the file, then the store
+	// freezes (see ckpt.FaultWALTear).
+	FaultWALTear = "wal.tear"
+	// FaultWALFreeze freezes the checkpoint store after a batch fully
+	// reaches the segment but before the commit is acknowledged.
+	FaultWALFreeze = "wal.freeze"
+	// FaultCkptPartition tears a checkpoint partition-file write and
+	// freezes: a crash in the middle of checkpoint capture.
+	FaultCkptPartition = "ckpt.partition"
+	// FaultCkptManifest freezes after the manifest file is written but
+	// before the CURRENT pointer flips to it.
+	FaultCkptManifest = "ckpt.manifest"
+)
+
 // NewFaults returns an empty registry with every point disarmed.
 func NewFaults() *Faults {
 	return &Faults{arms: make(map[string]int)}

@@ -29,32 +29,11 @@ type Backing interface {
 	Truncate(size int64) error
 }
 
-// Fault points understood by FaultFile. Arm them on the Faults registry the
-// FaultFile was built with; each fires at byte granularity inside a single
-// Write or Sync call.
-const (
-	// FaultFileWriteErr fails a Write outright: no bytes reach the file and
-	// the caller sees ErrInjected. Models a transient I/O error.
-	FaultFileWriteErr = "file.writeerr"
-	// FaultFileShortWrite writes only a prefix of the buffer and returns
-	// io.ErrShortWrite with the short count — a torn frame mid-batch.
-	FaultFileShortWrite = "file.shortwrite"
-	// FaultFileENOSPC writes a prefix of the buffer and returns
-	// syscall.ENOSPC: the disk filled mid-batch.
-	FaultFileENOSPC = "file.enospc"
-	// FaultFileSyncErr fails a Sync and drops every byte written since the
-	// last successful sync — the fsyncgate semantics: the kernel reports the
-	// failure once, discards the dirty pages, and a retried fsync would
-	// falsely succeed over the hole. The file itself keeps working.
-	FaultFileSyncErr = "file.syncerr"
-	// FaultFileCrash is a power loss. During a Write it lets half of the
-	// buffer reach the file, then discards half of whatever sits past the
-	// last fsync barrier (a torn, partially-persisted page cache); during a
-	// Sync it discards everything past the barrier. Either way the device is
-	// then gone: every later operation returns ErrCrashed, so nothing can be
-	// acknowledged after the lights went out.
-	FaultFileCrash = "file.crash"
-)
+// The FaultFile fault points (FaultFileWriteErr, FaultFileShortWrite,
+// FaultFileENOSPC, FaultFileSyncErr, FaultFileCrash) are declared in the
+// central fault-point registry in faults.go. Arm them on the Faults registry
+// the FaultFile was built with; each fires at byte granularity inside a
+// single Write or Sync call.
 
 // ErrInjected is the sentinel wrapped by every error a FaultFile invents;
 // match with errors.Is to distinguish injected faults from real I/O errors.
