@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	chk "repro/internal/check"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/recovery"
@@ -88,6 +89,25 @@ type File struct {
 	// the same benchmark re-run at each processor count, with the shared
 	// timestamp-oracle and reader-pin instrumentation captured per point.
 	Sweep map[string][]SweepPoint `json:"sweep,omitempty"`
+	// Checker compares the history checker's incremental range-read path
+	// against the O(model)-per-scan rebuild reference on one synthetic
+	// history (see measureChecker).
+	Checker *CheckerResult `json:"checker,omitempty"`
+}
+
+// CheckerResult is the checker scenario's measurement: the same
+// valid-by-construction synthetic history validated twice, once with the
+// incrementally maintained per-index multisets and once rebuilding each
+// scan's expected view from the whole model. SpeedupX is rebuild wall time
+// over incremental wall time — the factor by which the incremental path
+// stretches the history length affordable in a fixed checking budget.
+type CheckerResult struct {
+	Rows          uint64  `json:"rows"`
+	Txns          int     `json:"txns"`
+	Span          uint64  `json:"span"`
+	IncrementalMs float64 `json:"incremental_ms"`
+	RebuildMs     float64 `json:"rebuild_ms"`
+	SpeedupX      float64 `json:"speedup_x"`
 }
 
 // SweepPoint is one (scenario, scheme, GOMAXPROCS) measurement of the
@@ -841,6 +861,57 @@ func measureSyncCommit(d time.Duration) (*SyncCommitResult, error) {
 	return res, nil
 }
 
+// measureChecker validates one synthetic history (8k keys, 20k transactions,
+// range scans spanning up to 256 keys) with both range-read checking paths
+// and reports their wall times. The history is rebuilt per run — it is a
+// pure function of its arguments, so both paths see identical input — and
+// each path takes the best of three runs to shed scheduler noise. Both must
+// accept the history: it is valid by construction, so any verdict other
+// than nil is a checker bug, not a measurement.
+func measureChecker() (*CheckerResult, error) {
+	const (
+		rows = 8192
+		txns = 20_000
+		span = 256
+		seed = 7
+	)
+	best := func(validate func(*chk.History) error) (time.Duration, error) {
+		min := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			h := chk.Synthetic(rows, txns, span, seed)
+			start := time.Now()
+			err := validate(h)
+			d := time.Since(start)
+			if err != nil {
+				return 0, err
+			}
+			if min == 0 || d < min {
+				min = d
+			}
+		}
+		return min, nil
+	}
+	inc, err := best((*chk.History).Validate)
+	if err != nil {
+		return nil, fmt.Errorf("incremental checker rejected a valid history: %w", err)
+	}
+	reb, err := best((*chk.History).ValidateRebuild)
+	if err != nil {
+		return nil, fmt.Errorf("rebuild checker rejected a valid history: %w", err)
+	}
+	res := &CheckerResult{
+		Rows:          rows,
+		Txns:          txns,
+		Span:          span,
+		IncrementalMs: float64(inc.Microseconds()) / 1000,
+		RebuildMs:     float64(reb.Microseconds()) / 1000,
+	}
+	if inc > 0 {
+		res.SpeedupX = reb.Seconds() / inc.Seconds()
+	}
+	return res, nil
+}
+
 func toResult(r testing.BenchmarkResult) Result {
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
 	tps := 0.0
@@ -973,6 +1044,14 @@ func main() {
 			recRes.LogRecords, recRes.LogOnlyMs, recRes.CheckpointMs, recRes.SpeedupPct, recRes.RowsRestored, recRes.TailRecords)
 	}
 
+	fmt.Fprintln(os.Stderr, "measuring checker: incremental vs rebuild range-read validation...")
+	ckRes, ckErr := measureChecker()
+	if ckErr == nil {
+		file.Checker = ckRes
+		fmt.Fprintf(os.Stderr, "  %d txns over %d rows: incremental %.1f ms, rebuild %.1f ms (%.1fx)\n",
+			ckRes.Txns, ckRes.Rows, ckRes.IncrementalMs, ckRes.RebuildMs, ckRes.SpeedupX)
+	}
+
 	scDur, scDurErr := time.ParseDuration(*benchtime)
 	if scDurErr != nil || scDur <= 0 {
 		scDur = time.Second
@@ -1018,6 +1097,10 @@ func main() {
 	}
 	if scErr != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", scErr)
+		os.Exit(1)
+	}
+	if ckErr != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", ckErr)
 		os.Exit(1)
 	}
 	if *check && delta != 0 {

@@ -18,14 +18,24 @@
 // through ValidateIndexed, which takes per-index functions deriving a
 // row's index key from its primary key and value.
 //
+// Histories may span multiple tables. The History type carries per-table
+// initial state plus declared cross-table constraints — bank-style
+// conservation (Conservation), foreign-key shapes (RefIntegrity) and
+// per-transaction footprint rules (TxnRule) — evaluated at every
+// transaction boundary of the replay. Range scans are validated against
+// incrementally maintained per-(table, index) sorted multisets (O(log n)
+// per replayed mutation, O(log n + k) per scan); the original
+// O(model)-per-scan view rebuild survives as History.ValidateRebuild, the
+// reference implementation the incremental path is differentially tested
+// and fuzzed against.
+//
 // Integration tests run randomized concurrent workloads under serializable
 // isolation on all three engines and feed the committed histories through
-// Validate.
+// Validate; cmd/mvsoak does the same for hours at a time.
 package check
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 )
 
@@ -147,99 +157,12 @@ func Validate(initial map[uint64]uint64, initialTable string, txns []Txn) error 
 // space "" is always available (index key = row key) and need not be
 // passed.
 func ValidateIndexed(initial map[uint64]uint64, initialTable string, txns []Txn, indexers map[string]IndexKeyFn) error {
-	model := make(map[modelKey]uint64, len(initial))
-	for k, v := range initial {
-		model[modelKey{initialTable, k}] = v
+	h := History{
+		Initial:  map[string]map[uint64]uint64{initialTable: initial},
+		Txns:     txns,
+		Indexers: indexers,
 	}
-	ordered := make([]Txn, len(txns))
-	copy(ordered, txns)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].EndTS < ordered[j].EndTS })
-	for i := 1; i < len(ordered); i++ {
-		if ordered[i].EndTS == ordered[i-1].EndTS {
-			return fmt.Errorf("check: duplicate end timestamp %d", ordered[i].EndTS)
-		}
-	}
-	for _, t := range ordered {
-		for _, r := range t.Reads {
-			got, found := model[modelKey{r.Table, r.Key}]
-			if found != r.Found || (found && got != r.Value) {
-				v := &Violation{EndTS: t.EndTS, Read: r, GotValue: got, GotFound: found}
-				return v
-			}
-		}
-		for i := range t.RangeReads {
-			if err := checkRangeRead(model, t.EndTS, &t.RangeReads[i], indexers); err != nil {
-				return err
-			}
-		}
-		for _, w := range t.Writes {
-			mk := modelKey{w.Table, w.Key}
-			if w.Op == WriteDelete {
-				delete(model, mk)
-			} else {
-				model[mk] = w.Value
-			}
-		}
-	}
-	return nil
-}
-
-// checkRangeRead compares one recorded scan's observed key multiset against
-// the model's rows in the range at this serialization point.
-//
-// Complexity: O(model size) per recorded scan — the expected multiset is
-// rebuilt by walking every model row, because a secondary index key is a
-// function of (key, value) and value changes on every replayed write. Fine
-// for the randomized test histories (tens of keys, thousands of
-// transactions); a long-running soak over large models would want
-// incrementally-maintained per-index sorted multisets updated as writes
-// replay.
-func checkRangeRead(model map[modelKey]uint64, endTS uint64, rr *RangeRead, indexers map[string]IndexKeyFn) error {
-	ikeyOf := func(key, value uint64) (uint64, bool) { return key, true }
-	if rr.Index != "" {
-		fn, ok := indexers[rr.Index]
-		if !ok {
-			return fmt.Errorf("check: txn@%d scanned unknown index %q of table %q (pass an indexer to ValidateIndexed)",
-				endTS, rr.Index, rr.Table)
-		}
-		ikeyOf = fn
-	}
-	var expect []uint64
-	for mk, val := range model {
-		if mk.table != rr.Table {
-			continue
-		}
-		ik, ok := ikeyOf(mk.key, val)
-		if !ok || ik < rr.Lo || ik > rr.Hi {
-			continue
-		}
-		expect = append(expect, ik)
-	}
-	got := append([]uint64(nil), rr.Keys...)
-	sort.Slice(expect, func(i, j int) bool { return expect[i] < expect[j] })
-	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
-	// Multiset difference over the two sorted slices.
-	var missing, extra []uint64
-	i, j := 0, 0
-	for i < len(expect) && j < len(got) {
-		switch {
-		case expect[i] == got[j]:
-			i++
-			j++
-		case expect[i] < got[j]:
-			missing = append(missing, expect[i])
-			i++
-		default:
-			extra = append(extra, got[j])
-			j++
-		}
-	}
-	missing = append(missing, expect[i:]...)
-	extra = append(extra, got[j:]...)
-	if len(missing) > 0 || len(extra) > 0 {
-		return &RangeViolation{EndTS: endTS, Scan: *rr, Missing: missing, Extra: extra}
-	}
-	return nil
+	return h.Validate()
 }
 
 // Recorder collects transaction footprints from concurrent workers.

@@ -1,0 +1,256 @@
+package check
+
+import (
+	"fmt"
+)
+
+// Lookup reads the replay model's pre-transaction state: the committed value
+// of (table, key) just before the transaction under evaluation applies.
+type Lookup func(table string, key uint64) (value uint64, ok bool)
+
+// Constraint is a declared cross-table invariant validated during replay.
+// The checker drives each constraint through the replay lifecycle:
+//
+//   - Init observes every initial row once, before replay (in no particular
+//     order — implementations must be order-independent).
+//   - Begin sees each transaction's full footprint with pre-state access,
+//     before its writes apply: the hook for per-transaction structural rules
+//     (balanced transfers, cross-table write coupling).
+//   - Apply observes each write as it is applied, with the overwritten state,
+//     so implementations can maintain their invariant incrementally instead
+//     of rescanning the model.
+//   - Check runs after each transaction's writes have applied; a non-nil
+//     error is reported as a ConstraintViolation at that end timestamp.
+//
+// A Constraint instance accumulates replay state and must not be shared
+// between or reused across Validate calls.
+type Constraint interface {
+	Name() string
+	Init(table string, key, value uint64)
+	Begin(t *Txn, get Lookup) error
+	Apply(w Write, old uint64, hadOld bool)
+	Check(endTS uint64) error
+}
+
+// ConstraintViolation reports a declared cross-table invariant failing at a
+// serialization point of the replayed history.
+type ConstraintViolation struct {
+	EndTS      uint64
+	Constraint string
+	Detail     string
+}
+
+// Error implements error.
+func (v *ConstraintViolation) Error() string {
+	return fmt.Sprintf("check: txn@%d violates constraint %q: %s", v.EndTS, v.Constraint, v.Detail)
+}
+
+// Conservation asserts that the sum of amount(table, key, value) over every
+// live row of the named tables is the same at every transaction boundary as
+// it was in the initial state — the bank invariant: transfers move money,
+// they never create or destroy it.
+type Conservation struct {
+	name   string
+	tables map[string]bool
+	amount func(table string, key, value uint64) int64
+	sum    int64
+	want   int64
+	armed  bool
+}
+
+// NewConservation builds a Conservation constraint over the given tables.
+// amount maps a row to its contribution (rows of other tables contribute
+// nothing); the expected total is captured from the initial state.
+func NewConservation(name string, tables []string, amount func(table string, key, value uint64) int64) *Conservation {
+	ts := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		ts[t] = true
+	}
+	return &Conservation{name: name, tables: ts, amount: amount}
+}
+
+// Name implements Constraint.
+func (c *Conservation) Name() string { return c.name }
+
+// Init implements Constraint.
+func (c *Conservation) Init(table string, key, value uint64) {
+	if c.tables[table] {
+		c.sum += c.amount(table, key, value)
+	}
+}
+
+// Begin implements Constraint; the first call latches the expected total.
+func (c *Conservation) Begin(t *Txn, get Lookup) error {
+	if !c.armed {
+		c.want = c.sum
+		c.armed = true
+	}
+	return nil
+}
+
+// Apply implements Constraint.
+func (c *Conservation) Apply(w Write, old uint64, hadOld bool) {
+	if !c.tables[w.Table] {
+		return
+	}
+	if hadOld {
+		c.sum -= c.amount(w.Table, w.Key, old)
+	}
+	if w.Op != WriteDelete {
+		c.sum += c.amount(w.Table, w.Key, w.Value)
+	}
+}
+
+// Check implements Constraint.
+func (c *Conservation) Check(endTS uint64) error {
+	if c.armed && c.sum != c.want {
+		return fmt.Errorf("sum drifted to %d, initial state had %d", c.sum, c.want)
+	}
+	return nil
+}
+
+// RefIntegrity asserts the foreign-key shape "every child row has a parent":
+// for every live row of the child table whose ref derivation says it
+// references a parent key, a live row with that key must exist in the parent
+// table at every transaction boundary. Maintained incrementally: parent
+// existence, child references, and the orphan set are updated per write.
+type RefIntegrity struct {
+	name   string
+	child  string
+	parent string
+	ref    func(childKey, childValue uint64) (parentKey uint64, ok bool)
+
+	parents  map[uint64]struct{}
+	refOf    map[uint64]uint64              // childKey -> referenced parentKey
+	children map[uint64]map[uint64]struct{} // parentKey -> childKeys referencing it
+	orphans  map[uint64]uint64              // childKey -> missing parentKey
+}
+
+// NewRefIntegrity builds a RefIntegrity constraint from child to parent.
+// ref derives a child row's referenced parent key from its (key, value);
+// ok=false exempts the row (a null foreign key). Child and parent must be
+// distinct tables.
+func NewRefIntegrity(name, child, parent string, ref func(childKey, childValue uint64) (uint64, bool)) *RefIntegrity {
+	return &RefIntegrity{
+		name: name, child: child, parent: parent, ref: ref,
+		parents:  make(map[uint64]struct{}),
+		refOf:    make(map[uint64]uint64),
+		children: make(map[uint64]map[uint64]struct{}),
+		orphans:  make(map[uint64]uint64),
+	}
+}
+
+// Name implements Constraint.
+func (c *RefIntegrity) Name() string { return c.name }
+
+// Init implements Constraint.
+func (c *RefIntegrity) Init(table string, key, value uint64) {
+	c.apply(table, key, value, false)
+}
+
+// Begin implements Constraint.
+func (c *RefIntegrity) Begin(t *Txn, get Lookup) error { return nil }
+
+// Apply implements Constraint.
+func (c *RefIntegrity) Apply(w Write, old uint64, hadOld bool) {
+	c.apply(w.Table, w.Key, w.Value, w.Op == WriteDelete)
+}
+
+func (c *RefIntegrity) apply(table string, key, value uint64, del bool) {
+	if table == c.parent {
+		if del {
+			if _, ok := c.parents[key]; ok {
+				delete(c.parents, key)
+				for ck := range c.children[key] {
+					c.orphans[ck] = key
+				}
+			}
+			return
+		}
+		if _, ok := c.parents[key]; !ok {
+			c.parents[key] = struct{}{}
+			for ck := range c.children[key] {
+				delete(c.orphans, ck)
+			}
+		}
+		return
+	}
+	if table != c.child {
+		return
+	}
+	// Drop the child's previous reference (update or delete).
+	if p, ok := c.refOf[key]; ok {
+		delete(c.refOf, key)
+		delete(c.orphans, key)
+		if set := c.children[p]; set != nil {
+			delete(set, key)
+			if len(set) == 0 {
+				delete(c.children, p)
+			}
+		}
+	}
+	if del {
+		return
+	}
+	p, ok := c.ref(key, value)
+	if !ok {
+		return
+	}
+	c.refOf[key] = p
+	set := c.children[p]
+	if set == nil {
+		set = make(map[uint64]struct{})
+		c.children[p] = set
+	}
+	set[key] = struct{}{}
+	if _, exists := c.parents[p]; !exists {
+		c.orphans[key] = p
+	}
+}
+
+// Check implements Constraint.
+func (c *RefIntegrity) Check(endTS uint64) error {
+	if len(c.orphans) == 0 {
+		return nil
+	}
+	// Deterministic sample: the smallest orphaned child key.
+	first := true
+	var ck, pk uint64
+	for k, p := range c.orphans {
+		if first || k < ck {
+			ck, pk = k, p
+			first = false
+		}
+	}
+	return fmt.Errorf("%d orphaned %s row(s); e.g. %s[%d] references missing %s[%d]",
+		len(c.orphans), c.child, c.child, ck, c.parent, pk)
+}
+
+// TxnRule asserts a structural invariant of every transaction footprint —
+// e.g. "account deltas sum to zero" or "a ledger write never travels
+// without an accounts write". The rule sees the whole footprint and the
+// model's pre-transaction state and is evaluated before the writes apply.
+type TxnRule struct {
+	name string
+	rule func(t *Txn, get Lookup) error
+}
+
+// NewTxnRule builds a per-transaction footprint rule.
+func NewTxnRule(name string, rule func(t *Txn, get Lookup) error) *TxnRule {
+	return &TxnRule{name: name, rule: rule}
+}
+
+// Name implements Constraint.
+func (c *TxnRule) Name() string { return c.name }
+
+// Init implements Constraint.
+func (c *TxnRule) Init(table string, key, value uint64) {}
+
+// Begin implements Constraint.
+func (c *TxnRule) Begin(t *Txn, get Lookup) error { return c.rule(t, get) }
+
+// Apply implements Constraint.
+func (c *TxnRule) Apply(w Write, old uint64, hadOld bool) {}
+
+// Check implements Constraint.
+func (c *TxnRule) Check(endTS uint64) error { return nil }

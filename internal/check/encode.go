@@ -1,0 +1,237 @@
+package check
+
+// Wire codec for fuzzing the checker over encoded histories.
+//
+// FuzzValidateIndexed decodes arbitrary byte strings into multi-table
+// histories and differentially validates them: the incremental checker and
+// the O(model) rebuild reference must agree verdict-for-verdict. The format
+// is deliberately total — any byte string decodes to some history — so the
+// fuzzer explores the checker, not a parser's error paths.
+//
+// Layout: a stream of fixed-width ops over two tables ("a", "b") and two
+// index key spaces ("" primary and "ix", value%16 over table keys). Keys
+// are confined to [0, 48) and values to [0, 256) so collisions (the
+// interesting cases: duplicate index keys, overwrites, delete/re-insert)
+// are dense. Truncated trailing ops are dropped.
+const (
+	opInitial   = 0 // table, key, value: initial row (ignored once a txn began)
+	opBegin     = 1 // delta: start txn at prev EndTS + delta (0 ⇒ duplicate-stamp path)
+	opRead      = 2 // table, key, value, found
+	opWrite     = 3 // table, key, value
+	opDelete    = 4 // table, key
+	opScan      = 5 // table, index, lo, span, n, then n observed keys
+	opConstrain = 6 // class: attach a constraint (ignored once a txn began)
+	numOps      = 7
+
+	encKeys   = 48
+	encTables = 2
+)
+
+func encTable(b byte) string {
+	if b%encTables == 0 {
+		return "a"
+	}
+	return "b"
+}
+
+func encTableByte(t string) byte {
+	if t == "a" {
+		return 0
+	}
+	return 1
+}
+
+// encIndexers is the fixed index universe of the codec: one non-unique
+// secondary key space shared by both tables.
+func encIndexers() map[string]IndexKeyFn {
+	return map[string]IndexKeyFn{
+		"ix": func(key, value uint64) (uint64, bool) { return value % 16, value%7 != 0 },
+	}
+}
+
+// encConstraint builds the constraint selected by an opConstrain class byte.
+// Fresh instances per call: constraints are stateful across one Validate.
+func encConstraint(class byte) Constraint {
+	switch class % 3 {
+	case 0:
+		return NewConservation("sum-a", []string{"a"},
+			func(table string, key, value uint64) int64 { return int64(value) })
+	case 1:
+		return NewRefIntegrity("b-ref-a", "b", "a",
+			func(childKey, childValue uint64) (uint64, bool) {
+				return childValue % encKeys, childValue%5 != 0
+			})
+	default:
+		return NewTxnRule("writes-capped", func(t *Txn, get Lookup) error {
+			return nil // structurally trivial: exercises the hook, never fires
+		})
+	}
+}
+
+// decodeHistory decodes data into a History. Total: always returns a
+// (possibly empty) history.
+func decodeHistory(data []byte) *History {
+	h := &History{
+		Initial:  map[string]map[uint64]uint64{"a": {}, "b": {}},
+		Indexers: encIndexers(),
+	}
+	var cur *Txn
+	var endTS uint64
+	i := 0
+	take := func(n int) ([]byte, bool) {
+		if i+n > len(data) {
+			return nil, false
+		}
+		b := data[i : i+n]
+		i += n
+		return b, true
+	}
+	for i < len(data) {
+		op := data[i] % numOps
+		i++
+		switch op {
+		case opInitial:
+			b, ok := take(3)
+			if !ok {
+				return h
+			}
+			if cur == nil {
+				h.Initial[encTable(b[0])][uint64(b[1])%encKeys] = uint64(b[2])
+			}
+		case opBegin:
+			b, ok := take(1)
+			if !ok {
+				return h
+			}
+			endTS += uint64(b[0]) % 4 // delta 0 keeps the previous stamp: duplicate-EndTS path
+			h.Txns = append(h.Txns, Txn{EndTS: endTS})
+			cur = &h.Txns[len(h.Txns)-1]
+		case opRead:
+			b, ok := take(4)
+			if !ok {
+				return h
+			}
+			if cur != nil {
+				cur.Reads = append(cur.Reads, Read{
+					Table: encTable(b[0]), Key: uint64(b[1]) % encKeys,
+					Value: uint64(b[2]), Found: b[3]%2 == 1,
+				})
+			}
+		case opWrite:
+			b, ok := take(3)
+			if !ok {
+				return h
+			}
+			if cur != nil {
+				cur.Writes = append(cur.Writes, Write{
+					Table: encTable(b[0]), Key: uint64(b[1]) % encKeys, Value: uint64(b[2]),
+				})
+			}
+		case opDelete:
+			b, ok := take(2)
+			if !ok {
+				return h
+			}
+			if cur != nil {
+				cur.Writes = append(cur.Writes, Write{
+					Table: encTable(b[0]), Op: WriteDelete, Key: uint64(b[1]) % encKeys,
+				})
+			}
+		case opScan:
+			b, ok := take(5)
+			if !ok {
+				return h
+			}
+			n := int(b[4] % 8)
+			keys, ok := take(n)
+			if !ok {
+				return h
+			}
+			if cur == nil {
+				continue
+			}
+			index := ""
+			if b[1]%2 == 1 {
+				index = "ix"
+			}
+			lo := uint64(b[2]) % encKeys
+			rr := RangeRead{Table: encTable(b[0]), Index: index, Lo: lo, Hi: lo + uint64(b[3])%16}
+			for _, k := range keys {
+				rr.Keys = append(rr.Keys, uint64(k)%encKeys)
+			}
+			cur.RangeReads = append(cur.RangeReads, rr)
+		case opConstrain:
+			b, ok := take(1)
+			if !ok {
+				return h
+			}
+			if cur == nil && len(h.Constraints) < 4 {
+				h.Constraints = append(h.Constraints, encConstraint(b[0]))
+			}
+		}
+	}
+	return h
+}
+
+// encodeHistory is decodeHistory's inverse for histories inside the codec's
+// universe (tables a/b, keys < 48, index "" or "ix"); used to seed the fuzz
+// corpus from the mutation tests. Values are truncated to a byte.
+func encodeHistory(h *History) []byte {
+	var out []byte
+	for _, table := range []string{"a", "b"} {
+		for k, v := range h.Initial[table] {
+			out = append(out, opInitial, encTableByte(table), byte(k), byte(v))
+		}
+	}
+	for i := range h.Constraints {
+		var class byte
+		switch h.Constraints[i].(type) {
+		case *Conservation:
+			class = 0
+		case *RefIntegrity:
+			class = 1
+		default:
+			class = 2
+		}
+		out = append(out, opConstrain, class)
+	}
+	var prev uint64
+	for i := range h.Txns {
+		t := &h.Txns[i]
+		delta := byte(1)
+		if t.EndTS == prev {
+			delta = 0
+		}
+		prev = t.EndTS
+		out = append(out, opBegin, delta)
+		for _, r := range t.Reads {
+			found := byte(0)
+			if r.Found {
+				found = 1
+			}
+			out = append(out, opRead, encTableByte(r.Table), byte(r.Key), byte(r.Value), found)
+		}
+		for _, rr := range t.RangeReads {
+			idx := byte(0)
+			if rr.Index != "" {
+				idx = 1
+			}
+			n := len(rr.Keys)
+			if n > 7 {
+				n = 7
+			}
+			out = append(out, opScan, encTableByte(rr.Table), idx, byte(rr.Lo), byte(rr.Hi-rr.Lo), byte(n))
+			for _, k := range rr.Keys[:n] {
+				out = append(out, byte(k))
+			}
+		}
+		for _, w := range t.Writes {
+			if w.Op == WriteDelete {
+				out = append(out, opDelete, encTableByte(w.Table), byte(w.Key))
+			} else {
+				out = append(out, opWrite, encTableByte(w.Table), byte(w.Key), byte(w.Value))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package check
+
+import "testing"
+
+// FuzzValidateIndexed differentially fuzzes the checker over encoded
+// multi-table histories: whatever history the bytes decode to, the
+// incremental checker and the O(model) rebuild reference must reach the
+// same verdict, down to the error string. The corpus is seeded from the
+// bank mutation cases (encoded through the codec) so the fuzzer starts at
+// histories already known to exercise every violation class.
+func FuzzValidateIndexed(f *testing.F) {
+	for _, m := range bankMutations() {
+		f.Add(encodeHistory(m.build()))
+	}
+	for seed := uint64(1); seed <= 2; seed++ {
+		f.Add(encodeHistory(Synthetic(encKeys, 40, 8, seed)))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e1 := decodeHistory(data).Validate()
+		e2 := decodeHistory(data).ValidateRebuild()
+		if errString(e1) != errString(e2) {
+			t.Fatalf("checkers disagree on %x:\n fast: %v\n slow: %v", data, e1, e2)
+		}
+	})
+}

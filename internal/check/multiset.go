@@ -1,0 +1,163 @@
+package check
+
+// multiset is a sorted multiset of uint64 index keys backed by a treap:
+// expected O(log n) add/remove and O(log n + k) in-order range iteration
+// over k distinct keys. The replay loop maintains one per scanned
+// (table, index) pair so a recorded range scan is validated against exactly
+// the keys in [lo, hi] without rebuilding a view of the whole model — the
+// upgrade the old checkRangeRead's O(model)-per-scan comment asked for.
+//
+// Priorities come from a deterministic splitmix64 stream seeded per
+// multiset, so replaying the same history costs the same tree shape every
+// time (reproducible benchmarks, no global rand dependence).
+type multiset struct {
+	root *msNode
+	rng  uint64
+}
+
+type msNode struct {
+	key   uint64
+	prio  uint64
+	count int
+	l, r  *msNode
+}
+
+// splitmix64 advances one step of the splitmix64 sequence.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func newMultiset(seed uint64) *multiset {
+	return &multiset{rng: seed}
+}
+
+func (m *multiset) nextPrio() uint64 {
+	m.rng += 0x9e3779b97f4a7c15
+	z := m.rng
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// add inserts one occurrence of key.
+func (m *multiset) add(key uint64) {
+	m.root = m.insert(m.root, key)
+}
+
+func (m *multiset) insert(n *msNode, key uint64) *msNode {
+	if n == nil {
+		return &msNode{key: key, prio: m.nextPrio(), count: 1}
+	}
+	switch {
+	case key == n.key:
+		n.count++
+	case key < n.key:
+		n.l = m.insert(n.l, key)
+		if n.l.prio > n.prio {
+			n = rotRight(n)
+		}
+	default:
+		n.r = m.insert(n.r, key)
+		if n.r.prio > n.prio {
+			n = rotLeft(n)
+		}
+	}
+	return n
+}
+
+// remove deletes one occurrence of key; it reports whether an occurrence
+// existed.
+func (m *multiset) remove(key uint64) bool {
+	var removed bool
+	m.root, removed = removeNode(m.root, key)
+	return removed
+}
+
+func removeNode(n *msNode, key uint64) (*msNode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case key < n.key:
+		n.l, removed = removeNode(n.l, key)
+	case key > n.key:
+		n.r, removed = removeNode(n.r, key)
+	default:
+		if n.count > 1 {
+			n.count--
+			return n, true
+		}
+		return deleteRoot(n), true
+	}
+	return n, removed
+}
+
+// deleteRoot removes n itself by rotating it down until it is a leaf,
+// preserving the heap property among the survivors.
+func deleteRoot(n *msNode) *msNode {
+	if n.l == nil {
+		return n.r
+	}
+	if n.r == nil {
+		return n.l
+	}
+	if n.l.prio > n.r.prio {
+		n = rotRight(n)
+		n.r = deleteRoot(n.r)
+	} else {
+		n = rotLeft(n)
+		n.l = deleteRoot(n.l)
+	}
+	return n
+}
+
+func rotRight(n *msNode) *msNode {
+	l := n.l
+	n.l = l.r
+	l.r = n
+	return l
+}
+
+func rotLeft(n *msNode) *msNode {
+	r := n.r
+	n.r = r.l
+	r.l = n
+	return r
+}
+
+// ascendRange calls fn for each distinct key in [lo, hi] in ascending order
+// with its multiplicity; fn returning false stops the walk.
+func (m *multiset) ascendRange(lo, hi uint64, fn func(key uint64, count int) bool) {
+	ascend(m.root, lo, hi, fn)
+}
+
+func ascend(n *msNode, lo, hi uint64, fn func(uint64, int) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key > lo {
+		if !ascend(n.l, lo, hi, fn) {
+			return false
+		}
+	}
+	if n.key >= lo && n.key <= hi {
+		if !fn(n.key, n.count) {
+			return false
+		}
+	}
+	if n.key < hi {
+		return ascend(n.r, lo, hi, fn)
+	}
+	return true
+}

@@ -1,0 +1,79 @@
+package check
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMultisetAgainstReference drives the treap with random add/remove/range
+// ops and compares every range walk against a flat map-based reference.
+func TestMultisetAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ms := newMultiset(42)
+	ref := make(map[uint64]int)
+	const domain = 64
+	for op := 0; op < 20_000; op++ {
+		k := rng.Uint64() % domain
+		switch rng.Intn(3) {
+		case 0:
+			ms.add(k)
+			ref[k]++
+		case 1:
+			removed := ms.remove(k)
+			if removed != (ref[k] > 0) {
+				t.Fatalf("op %d: remove(%d) = %v, reference has %d", op, k, removed, ref[k])
+			}
+			if ref[k] > 0 {
+				ref[k]--
+				if ref[k] == 0 {
+					delete(ref, k)
+				}
+			}
+		case 2:
+			lo := rng.Uint64() % domain
+			hi := lo + rng.Uint64()%16
+			var got []uint64
+			ms.ascendRange(lo, hi, func(key uint64, count int) bool {
+				for i := 0; i < count; i++ {
+					got = append(got, key)
+				}
+				return true
+			})
+			var want []uint64
+			for key, count := range ref {
+				if key >= lo && key <= hi {
+					for i := 0; i < count; i++ {
+						want = append(want, key)
+					}
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) != len(want) {
+				t.Fatalf("op %d: range [%d,%d] got %v want %v", op, lo, hi, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("op %d: range [%d,%d] got %v want %v", op, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMultisetAscendStops: an early-stopping walk must not visit past the
+// callback's false.
+func TestMultisetAscendStops(t *testing.T) {
+	ms := newMultiset(7)
+	for k := uint64(0); k < 100; k++ {
+		ms.add(k)
+	}
+	var seen int
+	ms.ascendRange(0, 99, func(key uint64, count int) bool {
+		seen++
+		return seen < 5
+	})
+	if seen != 5 {
+		t.Fatalf("walk visited %d keys after stop at 5", seen)
+	}
+}

@@ -1,0 +1,60 @@
+package check
+
+// Synthetic builds a valid-by-construction randomized history for checker
+// benchmarks and corpora: a single table "t" of dense keys [0, rows), each
+// transaction one primary-key range scan of up to span keys followed by two
+// writes (upsert or delete). The generator tracks presence/values in flat
+// arrays, so building the history is O(txns·span) — cheap even for
+// histories far longer than the O(model)-per-scan checker could afford.
+// The result is a pure function of the arguments.
+func Synthetic(rows uint64, txns int, span uint64, seed uint64) *History {
+	if span == 0 || span > rows {
+		span = rows
+	}
+	present := make([]bool, rows)
+	vals := make([]uint64, rows)
+	initial := make(map[uint64]uint64, rows/2)
+	for k := uint64(0); k < rows; k += 2 {
+		present[k] = true
+		vals[k] = k * 3
+		initial[k] = k * 3
+	}
+	rng := seed
+	next := func() uint64 {
+		rng += 0x9e3779b97f4a7c15
+		return splitmix64(rng)
+	}
+	h := &History{
+		Initial: map[string]map[uint64]uint64{"t": initial},
+		Txns:    make([]Txn, 0, txns),
+	}
+	for i := 0; i < txns; i++ {
+		t := Txn{EndTS: uint64(i) + 1}
+		lo := next() % rows
+		hi := lo + next()%span
+		if hi >= rows {
+			hi = rows - 1
+		}
+		rr := RangeRead{Table: "t", Lo: lo, Hi: hi}
+		for k := lo; k <= hi; k++ {
+			if present[k] {
+				rr.Keys = append(rr.Keys, k)
+			}
+		}
+		t.RangeReads = append(t.RangeReads, rr)
+		for w := 0; w < 2; w++ {
+			k := next() % rows
+			if present[k] && next()%4 == 0 {
+				present[k] = false
+				t.Writes = append(t.Writes, Write{Table: "t", Op: WriteDelete, Key: k})
+			} else {
+				v := next() % 1_000_000
+				present[k] = true
+				vals[k] = v
+				t.Writes = append(t.Writes, Write{Table: "t", Key: k, Value: v})
+			}
+		}
+		h.Txns = append(h.Txns, t)
+	}
+	return h
+}

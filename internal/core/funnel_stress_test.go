@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/workload/seedtest"
 )
 
 // These tests exercise the combining-funnel oracle draws (ts.Funnel) through
@@ -37,9 +39,12 @@ func TestFunnelStressEngines(t *testing.T) {
 	withGOMAXPROCS(t, 4)
 	const (
 		workers = 8
-		txns    = 400
 		rows    = 256
 	)
+	txns := 400
+	if testing.Short() {
+		txns = 120
+	}
 	for _, scheme := range allSchemes {
 		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
@@ -130,11 +135,16 @@ func TestFunnelStressEngines(t *testing.T) {
 // violation here.
 func TestFunnelHistorySerializable(t *testing.T) {
 	withGOMAXPROCS(t, 4)
+	base := seedtest.Base(t, 7877)
+	seeds := 2
+	if testing.Short() {
+		seeds = 1
+	}
 	for _, scheme := range allSchemes {
 		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
-			for seed := int64(1); seed <= 2; seed++ {
-				runRandomRangeWorkload(t, scheme, seed*7877)
+			for i := 0; i < seeds; i++ {
+				runRandomRangeWorkload(t, scheme, seedtest.Derive(base, i))
 			}
 		})
 	}

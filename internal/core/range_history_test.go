@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/keyenc"
+	"repro/internal/workload/seedtest"
 )
 
 // These tests close the loop the range-aware checker opens: randomized
@@ -222,11 +223,16 @@ func runRandomRangeWorkload(t *testing.T, scheme Scheme, seed int64) {
 // scan/insert interleaving the engines let slip appears as a
 // check.RangeViolation here.
 func TestRangeHistorySerializable(t *testing.T) {
+	base := seedtest.Base(t, 1013)
+	seeds := 3
+	if testing.Short() {
+		seeds = 1
+	}
 	for _, scheme := range allSchemes {
 		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
-			for seed := int64(1); seed <= 3; seed++ {
-				runRandomRangeWorkload(t, scheme, seed*1013)
+			for i := 0; i < seeds; i++ {
+				runRandomRangeWorkload(t, scheme, seedtest.Derive(base, i))
 			}
 		})
 	}

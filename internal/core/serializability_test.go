@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/check"
+	"repro/internal/workload/seedtest"
 )
 
 // End timestamps for the checker: the MV engine exposes real end timestamps;
@@ -163,11 +164,16 @@ func runRandomSerializableWorkload(t *testing.T, scheme Scheme, seed int64) {
 }
 
 func TestSerializabilityRandomized(t *testing.T) {
+	base := seedtest.Base(t, 997)
+	seeds := 3
+	if testing.Short() {
+		seeds = 1
+	}
 	for _, scheme := range allSchemes {
 		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
-			for seed := int64(1); seed <= 3; seed++ {
-				runRandomSerializableWorkload(t, scheme, seed*997)
+			for i := 0; i < seeds; i++ {
+				runRandomSerializableWorkload(t, scheme, seedtest.Derive(base, i))
 			}
 		})
 	}

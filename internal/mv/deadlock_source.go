@@ -55,10 +55,14 @@ func (s *detectorSource) Snapshot() *deadlock.Graph {
 		}
 		// Step 3: implicit dependencies. If a version read-locked by t is
 		// write locked by a blocked transaction T2, T2 waits for t's lock
-		// release.
+		// release — unless T2 is t itself. A read-then-update of one row
+		// leaves t holding both locks on the version until precommit, when
+		// releaseSelfWriteReadLocks drains the dependency; a self-edge here
+		// would turn that transient into a one-node "cycle" and abort a
+		// perfectly healthy transaction.
 		for _, v := range t.SnapshotReadLocks() {
 			w := v.End()
-			if field.IsLock(w) && field.HasWriter(w) {
+			if field.IsLock(w) && field.HasWriter(w) && field.Writer(w) != t.ID() {
 				g.AddEdge(field.Writer(w), t.ID())
 			}
 		}

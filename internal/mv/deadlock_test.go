@@ -136,6 +136,47 @@ func TestCooperativeDeadlockDetection(t *testing.T) {
 	}
 }
 
+// A read-then-update of one row by a single transaction is not a deadlock.
+// The eager update of its own read-locked version leaves the transaction
+// with a transient wait-for dependency (drained by precommit), during which
+// the detector sees a version both read-locked by the transaction and
+// write-locked by it; that must not become a one-node cycle.
+func TestSelfReadLockUpdateNotVictimized(t *testing.T) {
+	e := NewEngine(Config{DeadlockInterval: -1})
+	t.Cleanup(func() { e.Close() })
+	tbl, err := e.CreateTable(storage.TableSpec{
+		Name:    "t",
+		Indexes: []storage.IndexSpec{{Name: "pk", Key: payloadKey, Buckets: 1 << 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.LoadRow(tbl, testPayload(1, 10))
+
+	tx := e.Begin(Pessimistic, Serializable)
+	v, ok, err := tx.Lookup(tbl, 0, 1, nil) // serializable read: read-locks v
+	if err != nil || !ok {
+		t.Fatal("lookup failed")
+	}
+	if err := tx.Update(tbl, v, testPayload(1, 11)); err != nil {
+		t.Fatal(err)
+	}
+	// The transaction now waits (until precommit) for the read locks found
+	// on v — its own. The detector must not treat that as a cycle.
+	if tx.T.WaitForCount() != 1 {
+		t.Fatalf("WaitForCount = %d, want the eager-update dependency", tx.T.WaitForCount())
+	}
+	for i := 0; i < 10; i++ {
+		if n := e.DetectDeadlocks(); n != 0 {
+			t.Fatalf("detector victimized a lone read-then-update transaction (%d victims)", n)
+		}
+	}
+	mustCommit(t, tx)
+	if e.Stats().DeadlockVictims != 0 {
+		t.Fatalf("DeadlockVictims = %d, want 0", e.Stats().DeadlockVictims)
+	}
+}
+
 // No false deadlocks: two transactions with a one-directional dependency
 // both commit.
 func TestNoFalseDeadlock(t *testing.T) {

@@ -41,4 +41,9 @@ var (
 	// ErrReadOnlyTx is returned when a mutation is attempted on a read-only
 	// snapshot transaction (BeginReadOnly).
 	ErrReadOnlyTx = errors.New("mv: read-only transaction cannot write")
+	// ErrDuplicateKey is returned by Insert when another version of the same
+	// primary key is, or may yet become, the latest: the key visibly exists,
+	// or a concurrent transaction is inserting it (first writer wins). The
+	// insert has doomed the transaction — it must abort.
+	ErrDuplicateKey = errors.New("mv: duplicate primary key")
 )

@@ -111,8 +111,11 @@ func TestSecondaryChurnRaceMV(t *testing.T) {
 		rows    = 48
 		writers = 4
 		readers = 2
-		opsEach = 400
 	)
+	opsEach := 400
+	if testing.Short() {
+		opsEach = 100
+	}
 	for k := uint64(0); k < rows; k++ {
 		e.LoadRow(tbl, testPayload(k, k))
 	}

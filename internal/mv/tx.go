@@ -1,6 +1,8 @@
 package mv
 
 import (
+	"runtime"
+
 	"repro/internal/field"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -394,6 +396,19 @@ func (tx *Tx) Insert(t *storage.Table, payload []byte) error {
 	v := tx.e.vpool.GetIn(t.Arena(), payload, t.NumIndexes(), field.FromTxID(tx.T.ID()), infinityWord)
 	t.Insert(v)
 	tx.writeSet = append(tx.writeSet, writeRec{t, nil, v, wal.OpInsert, v.Key(0)})
+	// Primary-key uniqueness. The check runs AFTER the version is linked,
+	// for the same symmetry argument as the scan-lock check below: two
+	// concurrent inserters of one key each link first, so at least one of
+	// them finds the other's version when it checks. Checking before
+	// linking leaves an interleaving — check, check, link, link — in which
+	// both commit and the key has two latest versions forever (the churn
+	// suites catch this as a row visible twice in one snapshot scan). A
+	// failed check dooms the transaction: the version is already linked and
+	// staged.
+	if err := tx.insertUniqueCheck(t, v); err != nil {
+		tx.T.RequestAbort()
+		return err
+	}
 	// Inserting under a serializable scan lock (bucket or range) is allowed,
 	// but then tx cannot precommit until the lock holders have completed
 	// (Section 4.2.2). This applies to optimistic transactions too: honoring
@@ -416,6 +431,118 @@ func (tx *Tx) Insert(t *storage.Table, payload []byte) error {
 		}
 	}
 	return nil
+}
+
+// insertUniqueCheck scans the primary-index chain of self's key for another
+// version that is — or may yet become — the latest: a committed live
+// version (the key visibly exists), a committed version whose delete or
+// update is still in flight or rolled back (if the ender aborts the version
+// stays latest), or another transaction's in-flight insert (first writer
+// wins; Section 2.6's uniqueness rule). Versions the transaction itself is
+// ending are skipped: a delete-then-reinsert of one key inside one
+// transaction is legal, and if the transaction aborts its insert vanishes
+// with it. Words naming transactions in flux are reread, as in
+// checkVisibility.
+func (tx *Tx) insertUniqueCheck(t *storage.Table, self *storage.Version) error {
+	ix := t.Index(0)
+	ord := ix.Ord()
+	key := self.Key(ord)
+	for v := ix.Lookup(key).Head(); v != nil; v = v.Next(ord) {
+		if v == self || v.Key(ord) != key {
+			continue
+		}
+		conflict, err := tx.versionMayStayLatest(v)
+		if err != nil {
+			return err
+		}
+		if conflict {
+			return ErrDuplicateKey
+		}
+	}
+	return nil
+}
+
+// versionMayStayLatest classifies one existing version for
+// insertUniqueCheck.
+func (tx *Tx) versionMayStayLatest(v *storage.Version) (bool, error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && attempt%64 == 0 {
+			runtime.Gosched()
+		}
+		bw := v.Begin()
+		if !field.IsTS(bw) {
+			// Uncommitted (or finalizing) creation.
+			creator := field.TxID(bw)
+			if creator == tx.T.ID() {
+				// Our own earlier insert in this transaction: a duplicate
+				// unless we re-deleted it (its End then carries our write
+				// lock).
+				ew := v.End()
+				if field.IsTS(ew) {
+					return field.TS(ew) == field.Infinity, nil
+				}
+				return !field.HasWriter(ew), nil
+			}
+			tb, ok := tx.e.txns.Lookup(creator)
+			if !ok {
+				continue // finalizing; reread
+			}
+			st := tb.State()
+			if tb.ID() != creator {
+				continue // object recycled; reread
+			}
+			switch st {
+			case txn.Aborted:
+				return false, nil // garbage version
+			case txn.Active, txn.Preparing, txn.Committed:
+				// A concurrent insert of the same key that may (or did)
+				// commit: the earlier writer wins.
+				return true, nil
+			default: // Terminated
+				continue
+			}
+		}
+		if field.TS(bw) == field.Infinity {
+			return false, nil // aborted insert: garbage awaiting collection
+		}
+		// Committed creation; the End word decides whether it is still (or
+		// may remain) the latest.
+		ew := v.End()
+		if field.IsTS(ew) {
+			return field.TS(ew) == field.Infinity, nil
+		}
+		if !field.HasWriter(ew) {
+			return true, nil // read locks only: a live latest version
+		}
+		ender := field.Writer(ew)
+		if ender == tx.T.ID() {
+			return false, nil // we are deleting/updating it ourselves
+		}
+		te, ok := tx.e.txns.Lookup(ender)
+		if !ok {
+			continue // finalizing; reread
+		}
+		st := te.State()
+		tstamp := te.End()
+		if te.ID() != ender {
+			continue // object recycled; reread
+		}
+		switch st {
+		case txn.Committed:
+			if tstamp == 0 {
+				continue
+			}
+			return false, nil // the delete/update committed: version is dead
+		case txn.Aborted:
+			return true, nil // ender rolled back: version stays latest
+		case txn.Active, txn.Preparing:
+			// In-flight delete/update: if it aborts the version stays
+			// latest, so the insert cannot proceed safely.
+			return true, nil
+		default: // Terminated
+			continue
+		}
+	}
 }
 
 // Update replaces old (a version obtained from Lookup/Scan in this

@@ -1,0 +1,143 @@
+package mv
+
+// Primary-key uniqueness (Section 2.6): an insert must not create a second
+// latest version of an existing key. The deterministic cases below pin the
+// link-then-check protocol; TestSecondaryChurnRaceMV exercises the racing
+// variant (two update-miss re-inserters of a deleted key) under -race.
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func uniqueEngine(t *testing.T) (*Engine, *storage.Table) {
+	t.Helper()
+	e := NewEngine(Config{DeadlockInterval: -1})
+	t.Cleanup(func() { e.Close() })
+	tbl, err := e.CreateTable(storage.TableSpec{
+		Name:    "t",
+		Indexes: []storage.IndexSpec{{Name: "pk", Key: payloadKey, Buckets: 1 << 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, tbl
+}
+
+func TestInsertDuplicateOfCommittedKey(t *testing.T) {
+	e, tbl := uniqueEngine(t)
+	e.LoadRow(tbl, testPayload(1, 10))
+	tx := e.Begin(Optimistic, SnapshotIsolation)
+	if err := tx.Insert(tbl, testPayload(1, 11)); err != ErrDuplicateKey {
+		t.Fatalf("insert of existing key: err = %v, want ErrDuplicateKey", err)
+	}
+	if err := tx.Commit(); err != ErrAborted {
+		t.Fatalf("commit after duplicate insert: err = %v, want ErrAborted", err)
+	}
+	// The original row is intact.
+	r := e.Begin(Optimistic, SnapshotIsolation)
+	if val, ok := readVal(t, r, tbl, 1); !ok || val != 10 {
+		t.Fatalf("row 1 = (%d, %v), want (10, true)", val, ok)
+	}
+	mustCommit(t, r)
+}
+
+func TestInsertDuplicateOfUncommittedInsert(t *testing.T) {
+	e, tbl := uniqueEngine(t)
+	t1 := e.Begin(Optimistic, SnapshotIsolation)
+	if err := t1.Insert(tbl, testPayload(7, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// First writer wins: the second inserter of the same key is doomed even
+	// though t1 has not committed.
+	t2 := e.Begin(Optimistic, SnapshotIsolation)
+	if err := t2.Insert(tbl, testPayload(7, 2)); err != ErrDuplicateKey {
+		t.Fatalf("concurrent insert: err = %v, want ErrDuplicateKey", err)
+	}
+	if err := t2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, t1)
+	r := e.Begin(Optimistic, SnapshotIsolation)
+	if val, ok := readVal(t, r, tbl, 7); !ok || val != 1 {
+		t.Fatalf("row 7 = (%d, %v), want (1, true)", val, ok)
+	}
+	mustCommit(t, r)
+}
+
+func TestInsertAfterAbortedInsert(t *testing.T) {
+	e, tbl := uniqueEngine(t)
+	t1 := e.Begin(Optimistic, SnapshotIsolation)
+	if err := t1.Insert(tbl, testPayload(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// The aborted insert's version is garbage, not a conflict.
+	t2 := e.Begin(Optimistic, SnapshotIsolation)
+	if err := t2.Insert(tbl, testPayload(3, 2)); err != nil {
+		t.Fatalf("insert after aborted insert: %v", err)
+	}
+	mustCommit(t, t2)
+}
+
+func TestInsertAfterCommittedDelete(t *testing.T) {
+	e, tbl := uniqueEngine(t)
+	e.LoadRow(tbl, testPayload(5, 1))
+	d := e.Begin(Pessimistic, ReadCommitted)
+	if n, err := d.DeleteWhere(tbl, 0, 5, nil); err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	mustCommit(t, d)
+	tx := e.Begin(Optimistic, SnapshotIsolation)
+	if err := tx.Insert(tbl, testPayload(5, 2)); err != nil {
+		t.Fatalf("re-insert of deleted key: %v", err)
+	}
+	mustCommit(t, tx)
+	r := e.Begin(Optimistic, SnapshotIsolation)
+	if val, ok := readVal(t, r, tbl, 5); !ok || val != 2 {
+		t.Fatalf("row 5 = (%d, %v), want (2, true)", val, ok)
+	}
+	mustCommit(t, r)
+}
+
+func TestDeleteReinsertSameTxn(t *testing.T) {
+	e, tbl := uniqueEngine(t)
+	e.LoadRow(tbl, testPayload(9, 1))
+	tx := e.Begin(Pessimistic, ReadCommitted)
+	if n, err := tx.DeleteWhere(tbl, 0, 9, nil); err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	// Our own in-flight delete does not block our own re-insert.
+	if err := tx.Insert(tbl, testPayload(9, 2)); err != nil {
+		t.Fatalf("same-txn re-insert: %v", err)
+	}
+	// But a second insert of the key we just created is a duplicate.
+	if err := tx.Insert(tbl, testPayload(9, 3)); err != ErrDuplicateKey {
+		t.Fatalf("same-txn double insert: err = %v, want ErrDuplicateKey", err)
+	}
+	if err := tx.Commit(); err != ErrAborted {
+		t.Fatalf("commit after duplicate insert: err = %v, want ErrAborted", err)
+	}
+}
+
+func TestInsertBlockedByInFlightDelete(t *testing.T) {
+	e, tbl := uniqueEngine(t)
+	e.LoadRow(tbl, testPayload(4, 1))
+	d := e.Begin(Pessimistic, ReadCommitted)
+	if n, err := d.DeleteWhere(tbl, 0, 4, nil); err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	// The delete may still abort, leaving the old version latest — a
+	// concurrent insert must not gamble on it.
+	tx := e.Begin(Optimistic, SnapshotIsolation)
+	if err := tx.Insert(tbl, testPayload(4, 2)); err != ErrDuplicateKey {
+		t.Fatalf("insert over in-flight delete: err = %v, want ErrDuplicateKey", err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, d)
+}

@@ -341,6 +341,11 @@ func runCrashTxn(db *core.Database, rows, marks *core.Table, rng *rand.Rand, mar
 func TestCrashRecovery(t *testing.T) {
 	schemes := []core.Scheme{core.SingleVersion, core.MVPessimistic, core.MVOptimistic}
 	faults := []string{"wal.tear", "wal.freeze", "ckpt.partition", "ckpt.manifest", "chop"}
+	if testing.Short() {
+		// One scheme still covers every fault's recovery path; the full
+		// scheme × fault matrix is the long-mode/CI sweep.
+		schemes = schemes[:1]
+	}
 	for _, scheme := range schemes {
 		for _, fault := range faults {
 			scheme, fault := scheme, fault

@@ -335,6 +335,11 @@ func runSyncTxn(db *core.Database, rows, marks *core.Table, rng *rand.Rand, mark
 func TestSyncCommitCrashRecovery(t *testing.T) {
 	schemes := []core.Scheme{core.SingleVersion, core.MVPessimistic, core.MVOptimistic}
 	faults := []string{"powerloss", "syncerr", "enospc", "shortwrite", "writeerr", "chop"}
+	if testing.Short() {
+		// One scheme still covers every fault's durability path; the full
+		// scheme × fault matrix is the long-mode/CI sweep.
+		schemes = schemes[:1]
+	}
 	for _, scheme := range schemes {
 		for _, fault := range faults {
 			scheme, fault := scheme, fault

@@ -133,22 +133,53 @@ func (s *SkipList[V]) findPred(key uint64, preds *[skipMaxLevel]*SkipNode[V]) *S
 // logically deleted (empty value); callers that intend to repopulate it must
 // go through Revive.
 //
+// The hit test runs on the successor pointers loaded during the descent —
+// never on a re-load of the predecessor's pointer afterwards. A re-load races
+// concurrent inserts: between the walk's load (which saw the target and
+// broke) and the re-load, an insert of a key in (pred.key, key) rewrites
+// pred.next to the new intermediate node, and the equality check would turn a
+// linked, reachable target into a spurious miss. Under two-phase locking
+// that is a correctness bug, not a mere stale read: a reader holding a lock
+// on key sees it vanish while inserts of *neighboring* keys proceed.
+//
 //mvlint:noalloc
 func (s *SkipList[V]) Get(key uint64) *SkipNode[V] {
-	pred := s.findPred(key, nil)
-	if n := s.nextAt(pred, 0).Load(); n != nil && n.key == key {
-		return n
+	var cur *SkipNode[V]
+	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := s.nextAt(cur, lvl).Load()
+			if nxt == nil || nxt.key > key {
+				break
+			}
+			if nxt.key == key {
+				return nxt
+			}
+			cur = nxt
+		}
 	}
 	return nil
 }
 
 // Seek returns the first node with key >= lo, or nil. Lock-free; the
-// starting point of a range scan.
+// starting point of a range scan. Like Get, it returns the breaking
+// successor observed by the level-0 walk itself: re-loading the
+// predecessor's pointer after the walk races a concurrent insert of a key
+// below lo and could hand the caller a node outside the requested range.
 //
 //mvlint:noalloc
 func (s *SkipList[V]) Seek(lo uint64) *SkipNode[V] {
-	pred := s.findPred(lo, nil)
-	return s.nextAt(pred, 0).Load()
+	var cur, first *SkipNode[V]
+	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := s.nextAt(cur, lvl).Load()
+			if nxt == nil || nxt.key >= lo {
+				first = nxt // level 0's break value is the answer
+				break
+			}
+			cur = nxt
+		}
+	}
+	return first
 }
 
 // GetOrCreate returns the node with key, linking a new (or pooled) one if

@@ -91,8 +91,11 @@ func TestSVSecondaryChurnRace(t *testing.T) {
 		rows    = 48
 		writers = 4
 		readers = 2
-		opsEach = 300
 	)
+	opsEach := 300
+	if testing.Short() {
+		opsEach = 80
+	}
 	for k := uint64(0); k < rows; k++ {
 		e.LoadRow(tbl, testPayload(k, k))
 	}

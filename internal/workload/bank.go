@@ -1,0 +1,473 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/keyenc"
+)
+
+// The bank workload is the multi-table torture mix behind cmd/mvsoak: an
+// accounts table (key = account id, value = balance) and a ledger table
+// (key = unique ledger id, value = packed transfer record) with an ordered
+// "stmt" secondary index grouping ledger rows by source account. Every
+// transaction records its footprint as a check.Txn, and the whole history
+// is validated by check.History with the cross-table constraints from
+// (*Bank).Constraints: conservation of money, ledger→accounts referential
+// integrity, and balanced per-transaction account deltas.
+
+// Table and index names of the bank schema, shared with the checker model.
+const (
+	BankAccountsTable = "accounts"
+	BankLedgerTable   = "ledger"
+	BankStmtIndex     = "stmt"
+)
+
+// BankStmtLayout is the composite key of the ledger's statement index:
+// (source account, ledger id), so one account's ledger rows are one
+// encoded prefix range. Ledger ids must fit in 48 bits.
+var BankStmtLayout = keyenc.MustLayout(
+	keyenc.Field{Name: "acct", Bits: 16},
+	keyenc.Field{Name: "id", Bits: 48},
+)
+
+// LedgerValue packs a transfer record: source account (16 bits), target
+// account (16 bits), amount (32 bits).
+func LedgerValue(from, to, amt uint64) uint64 {
+	return from<<48 | (to&0xffff)<<32 | amt&0xffffffff
+}
+
+// LedgerFrom extracts the source account of a packed transfer record.
+func LedgerFrom(v uint64) uint64 { return v >> 48 }
+
+// LedgerTo extracts the target account of a packed transfer record.
+func LedgerTo(v uint64) uint64 { return (v >> 32) & 0xffff }
+
+// LedgerAmt extracts the amount of a packed transfer record.
+func LedgerAmt(v uint64) uint64 { return v & 0xffffffff }
+
+// ErrReadYourWrites reports a transaction that could not observe its own
+// (or its snapshot's) writes: an in-transaction assertion, so the bug is
+// caught at the operation rather than at history validation.
+var ErrReadYourWrites = errors.New("workload: transaction failed to observe its own writes")
+
+// ErrConservation reports an audit transaction that saw account balances
+// not summing to the invariant total.
+var ErrConservation = errors.New("workload: account balances do not sum to the invariant total")
+
+// Bank is the two-table bank schema on one Database.
+type Bank struct {
+	Accounts *core.Table
+	Ledger   *core.Table
+	// N is the account key space [0, N); account 0 is the reserve account
+	// that open/close move money through and is never closed itself.
+	N uint64
+	// InitBalance is every account's starting balance; conservation checks
+	// against N*InitBalance.
+	InitBalance uint64
+}
+
+// OpenBank creates the bank schema: accounts with an ordered primary index
+// (audits range-scan it) and the ledger with a hash primary index plus the
+// ordered composite statement index. N must fit the 16-bit account field.
+func OpenBank(db *core.Database, n, initBalance uint64) (*Bank, error) {
+	if n < 2 || n > 1<<16 {
+		return nil, fmt.Errorf("workload: bank needs 2..65536 accounts, got %d", n)
+	}
+	acc, err := db.CreateTable(core.TableSpec{
+		Name:    BankAccountsTable,
+		Indexes: []core.IndexSpec{{Name: "pk", Key: RowKey, Ordered: true}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	stmtKey := func(p []byte) uint64 {
+		return BankStmtLayout.MustEncode(LedgerFrom(RowVal(p)), RowKey(p))
+	}
+	led, err := db.CreateTable(core.TableSpec{
+		Name: BankLedgerTable,
+		Indexes: []core.IndexSpec{
+			{Name: "pk", Key: RowKey, Buckets: 4096},
+			{Name: BankStmtIndex, Key: stmtKey, Ordered: true, Composite: BankStmtLayout},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Bank{Accounts: acc, Ledger: led, N: n, InitBalance: initBalance}, nil
+}
+
+// Load populates the accounts through the load path (bypassing the log).
+func (b *Bank) Load(db *core.Database) {
+	for k := uint64(0); k < b.N; k++ {
+		db.LoadRow(b.Accounts, Row(k, b.InitBalance))
+	}
+}
+
+// LoadTx populates the accounts transactionally so the initial rows reach
+// the log — required when the database will be crash-recovered.
+func (b *Bank) LoadTx(db *core.Database) error {
+	const chunk = 64
+	for base := uint64(0); base < b.N; base += chunk {
+		tx := db.Begin()
+		for k := base; k < base+chunk && k < b.N; k++ {
+			if err := tx.Insert(b.Accounts, Row(k, b.InitBalance)); err != nil {
+				_ = tx.Abort() // the insert error is the root cause
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InitialModel returns the checker's initial multi-table state matching
+// Load/LoadTx.
+func (b *Bank) InitialModel() map[string]map[uint64]uint64 {
+	acc := make(map[uint64]uint64, b.N)
+	for k := uint64(0); k < b.N; k++ {
+		acc[k] = b.InitBalance
+	}
+	return map[string]map[uint64]uint64{
+		BankAccountsTable: acc,
+		BankLedgerTable:   {},
+	}
+}
+
+// Indexers returns the checker index derivations for recorded bank
+// histories: the statement index key of a ledger row.
+func (b *Bank) Indexers() map[string]check.IndexKeyFn {
+	return map[string]check.IndexKeyFn{
+		BankStmtIndex: func(key, value uint64) (uint64, bool) {
+			if key >= 1<<48 {
+				return 0, false
+			}
+			return BankStmtLayout.MustEncode(LedgerFrom(value), key), true
+		},
+	}
+}
+
+// Constraints returns fresh instances of the bank's cross-table invariants
+// (constraints are stateful; build a new set per History validation):
+//
+//   - bank-conservation: live balances always sum to N*InitBalance;
+//   - ledger-from-account: every ledger row's source account exists;
+//   - balanced-accounts: each transaction's account deltas sum to zero —
+//     transfers move money, they never mint it.
+func (b *Bank) Constraints() []check.Constraint {
+	return []check.Constraint{
+		check.NewConservation("bank-conservation", []string{BankAccountsTable},
+			func(table string, key, value uint64) int64 { return int64(value) }),
+		check.NewRefIntegrity("ledger-from-account", BankLedgerTable, BankAccountsTable,
+			func(childKey, childValue uint64) (uint64, bool) { return LedgerFrom(childValue), true }),
+		check.NewTxnRule("balanced-accounts", func(t *check.Txn, get check.Lookup) error {
+			// Net delta of the transaction over the accounts table, using the
+			// final write per key against the pre-transaction state.
+			final := make(map[uint64]*check.Write)
+			for i := range t.Writes {
+				w := &t.Writes[i]
+				if w.Table == BankAccountsTable {
+					final[w.Key] = w
+				}
+			}
+			var delta int64
+			for key, w := range final {
+				if old, ok := get(BankAccountsTable, key); ok {
+					delta -= int64(old)
+				}
+				if w.Op != check.WriteDelete {
+					delta += int64(w.Value)
+				}
+			}
+			if delta != 0 {
+				return fmt.Errorf("account deltas sum to %+d", delta)
+			}
+			return nil
+		}),
+	}
+}
+
+// RunTxn executes one randomly chosen bank transaction body against tx and
+// returns its recorded footprint (EndTS unset — the caller stamps it from
+// CommitTS). ledgerID must be globally unique (and < 2^48) per call; it is
+// consumed only by transaction kinds that insert a ledger row.
+//
+// Engine errors (conflicts, lock timeouts, deadlock victims) propagate for
+// the caller to abort and retry. Errors wrapping ErrReadYourWrites or
+// ErrConservation are in-transaction invariant failures. They are evidence,
+// not yet a verdict: an optimistic transaction's in-flight view is
+// conditional on its speculative commit dependencies, and a dependency
+// aborting mid-transaction exposes a mixed state until the abort cascade
+// reaches the reader. The caller must let commit decide — a failed commit
+// is an ordinary doomed-speculation abort; only a successful commit makes
+// the invariant failure a real serializability violation.
+func (b *Bank) RunTxn(tx *core.Tx, rng *rand.Rand, ledgerID uint64) (check.Txn, error) {
+	switch r := rng.Uint64() % 100; {
+	case r < 55:
+		return b.transfer(tx, rng, ledgerID)
+	case r < 75:
+		return b.statement(tx, rng)
+	case r < 85:
+		return b.audit(tx)
+	case r < 93:
+		return b.openAccount(tx, rng, ledgerID)
+	default:
+		return b.closeAccount(tx, rng)
+	}
+}
+
+// readAccount looks up one account and records the (value, found) read.
+func (b *Bank) readAccount(tx *core.Tx, t *check.Txn, key uint64) (uint64, bool, error) {
+	row, ok, err := tx.Lookup(b.Accounts, 0, key, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	var v uint64
+	if ok {
+		v = RowVal(row.Payload())
+	}
+	t.Reads = append(t.Reads, check.Read{Table: BankAccountsTable, Key: key, Value: v, Found: ok})
+	return v, ok, nil
+}
+
+// setAccount updates an account read as present earlier in the transaction
+// and records the write; updating zero rows means the engine lost a row the
+// transaction already observed.
+func (b *Bank) setAccount(tx *core.Tx, t *check.Txn, key, val uint64) error {
+	n, err := tx.UpdateWhere(b.Accounts, 0, key, nil, func(old []byte) []byte {
+		return Row(key, val)
+	})
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("%w: account %d read as present but updated 0 rows", ErrReadYourWrites, key)
+	}
+	t.Writes = append(t.Writes, check.Write{Table: BankAccountsTable, Key: key, Value: val})
+	return nil
+}
+
+// transfer moves a random amount between two accounts and inserts the
+// ledger record, then asserts the transaction sees its own debit and its
+// own ledger row (cross-table read-your-writes).
+func (b *Bank) transfer(tx *core.Tx, rng *rand.Rand, ledgerID uint64) (check.Txn, error) {
+	var t check.Txn
+	from := rng.Uint64() % b.N
+	to := rng.Uint64() % b.N
+	if from == to {
+		to = (to + 1) % b.N
+	}
+	// Read in ascending key order to keep pessimistic lock acquisition
+	// mostly ordered (deadlock victims abort and retry either way).
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	loBal, loOK, err := b.readAccount(tx, &t, lo)
+	if err != nil {
+		return t, err
+	}
+	hiBal, hiOK, err := b.readAccount(tx, &t, hi)
+	if err != nil {
+		return t, err
+	}
+	if !loOK || !hiOK {
+		return t, nil // a leg is closed right now: no-op, absence reads recorded
+	}
+	fromBal, toBal := loBal, hiBal
+	if from != lo {
+		fromBal, toBal = hiBal, loBal
+	}
+	var amt uint64
+	if fromBal > 0 {
+		amt = rng.Uint64() % (fromBal + 1)
+	}
+	if amt > 1<<31 {
+		amt = 1 << 31 // keep packed amounts inside the 32-bit ledger field
+	}
+	if err := b.setAccount(tx, &t, from, fromBal-amt); err != nil {
+		return t, err
+	}
+	if err := b.setAccount(tx, &t, to, toBal+amt); err != nil {
+		return t, err
+	}
+	lv := LedgerValue(from, to, amt)
+	if err := tx.Insert(b.Ledger, Row(ledgerID, lv)); err != nil {
+		return t, err
+	}
+	t.Writes = append(t.Writes, check.Write{Table: BankLedgerTable, Key: ledgerID, Value: lv})
+	// Read-your-writes, across both tables. Not recorded: the checker's
+	// model validates reads against pre-transaction state.
+	row, ok, err := tx.Lookup(b.Accounts, 0, from, nil)
+	if err != nil {
+		return t, err
+	}
+	if !ok || RowVal(row.Payload()) != fromBal-amt {
+		return t, fmt.Errorf("%w: debited account %d not visible in-transaction", ErrReadYourWrites, from)
+	}
+	lrow, ok, err := tx.Lookup(b.Ledger, 0, ledgerID, nil)
+	if err != nil {
+		return t, err
+	}
+	if !ok || RowVal(lrow.Payload()) != lv {
+		return t, fmt.Errorf("%w: ledger row %d not visible in-transaction", ErrReadYourWrites, ledgerID)
+	}
+	return t, nil
+}
+
+// statement reads one account's ledger rows through the statement index,
+// recording the prefix scan and each row.
+func (b *Bank) statement(tx *core.Tx, rng *rand.Rand) (check.Txn, error) {
+	var t check.Txn
+	acct := rng.Uint64() % b.N
+	lo, hi := BankStmtLayout.MustPrefixRange(acct)
+	rr := check.RangeRead{Table: BankLedgerTable, Index: BankStmtIndex, Lo: lo, Hi: hi}
+	err := tx.ScanPrefix(b.Ledger, 1, []uint64{acct}, nil, func(r core.Row) bool {
+		p := r.Payload()
+		id, v := RowKey(p), RowVal(p)
+		rr.Keys = append(rr.Keys, BankStmtLayout.MustEncode(acct, id))
+		t.Reads = append(t.Reads, check.Read{Table: BankLedgerTable, Key: id, Value: v, Found: true})
+		return true
+	})
+	if err != nil {
+		return t, err
+	}
+	t.RangeReads = append(t.RangeReads, rr)
+	return t, nil
+}
+
+// audit range-scans every account, records the scan, and asserts
+// conservation: a serializable snapshot sums to the invariant total unless
+// the transaction is doomed (a speculative read's dependency aborted
+// mid-scan), which the caller detects by the commit failing.
+func (b *Bank) audit(tx *core.Tx) (check.Txn, error) {
+	var t check.Txn
+	rr := check.RangeRead{Table: BankAccountsTable, Lo: 0, Hi: b.N - 1}
+	var sum uint64
+	err := tx.ScanRange(b.Accounts, 0, 0, b.N-1, nil, func(r core.Row) bool {
+		p := r.Payload()
+		k, v := RowKey(p), RowVal(p)
+		rr.Keys = append(rr.Keys, k)
+		t.Reads = append(t.Reads, check.Read{Table: BankAccountsTable, Key: k, Value: v, Found: true})
+		sum += v
+		return true
+	})
+	if err != nil {
+		return t, err
+	}
+	t.RangeReads = append(t.RangeReads, rr)
+	if want := b.N * b.InitBalance; sum != want {
+		return t, fmt.Errorf("%w: audit saw %d, want %d", ErrConservation, sum, want)
+	}
+	return t, nil
+}
+
+// openAccount re-opens a closed account, seeding it from the reserve
+// account 0 and recording the seeding transfer in the ledger.
+func (b *Bank) openAccount(tx *core.Tx, rng *rand.Rand, ledgerID uint64) (check.Txn, error) {
+	var t check.Txn
+	k := 1 + rng.Uint64()%(b.N-1)
+	_, ok, err := b.readAccount(tx, &t, k)
+	if err != nil {
+		return t, err
+	}
+	if ok {
+		return t, nil // already open: no-op, presence read recorded
+	}
+	reserve, ok, err := b.readAccount(tx, &t, 0)
+	if err != nil {
+		return t, err
+	}
+	if !ok {
+		return t, fmt.Errorf("%w: reserve account 0 missing", ErrConservation)
+	}
+	var amt uint64
+	if reserve > 0 {
+		amt = rng.Uint64() % (reserve + 1)
+	}
+	if amt > 1<<31 {
+		amt = 1 << 31
+	}
+	if err := b.setAccount(tx, &t, 0, reserve-amt); err != nil {
+		return t, err
+	}
+	if err := tx.Insert(b.Accounts, Row(k, amt)); err != nil {
+		return t, err
+	}
+	t.Writes = append(t.Writes, check.Write{Table: BankAccountsTable, Key: k, Value: amt})
+	lv := LedgerValue(0, k, amt)
+	if err := tx.Insert(b.Ledger, Row(ledgerID, lv)); err != nil {
+		return t, err
+	}
+	t.Writes = append(t.Writes, check.Write{Table: BankLedgerTable, Key: ledgerID, Value: lv})
+	row, ok, err := tx.Lookup(b.Accounts, 0, k, nil)
+	if err != nil {
+		return t, err
+	}
+	if !ok || RowVal(row.Payload()) != amt {
+		return t, fmt.Errorf("%w: opened account %d not visible in-transaction", ErrReadYourWrites, k)
+	}
+	return t, nil
+}
+
+// closeAccount closes a non-reserve account: its ledger rows are removed
+// (keeping referential integrity), its balance moves to the reserve, and
+// the account row is deleted.
+func (b *Bank) closeAccount(tx *core.Tx, rng *rand.Rand) (check.Txn, error) {
+	var t check.Txn
+	k := 1 + rng.Uint64()%(b.N-1)
+	lo, hi := BankStmtLayout.MustPrefixRange(k)
+	rr := check.RangeRead{Table: BankLedgerTable, Index: BankStmtIndex, Lo: lo, Hi: hi}
+	var rows []core.Row
+	var ids []uint64
+	err := tx.ScanPrefix(b.Ledger, 1, []uint64{k}, nil, func(r core.Row) bool {
+		p := r.Payload()
+		id, v := RowKey(p), RowVal(p)
+		rr.Keys = append(rr.Keys, BankStmtLayout.MustEncode(k, id))
+		t.Reads = append(t.Reads, check.Read{Table: BankLedgerTable, Key: id, Value: v, Found: true})
+		rows = append(rows, r)
+		ids = append(ids, id)
+		return true
+	})
+	if err != nil {
+		return t, err
+	}
+	t.RangeReads = append(t.RangeReads, rr)
+	bal, ok, err := b.readAccount(tx, &t, k)
+	if err != nil {
+		return t, err
+	}
+	if !ok {
+		return t, nil // already closed: no-op, the scan and absence read stand
+	}
+	reserve, ok, err := b.readAccount(tx, &t, 0)
+	if err != nil {
+		return t, err
+	}
+	if !ok {
+		return t, fmt.Errorf("%w: reserve account 0 missing", ErrConservation)
+	}
+	for i, r := range rows {
+		if err := tx.Delete(b.Ledger, r); err != nil {
+			return t, err
+		}
+		t.Writes = append(t.Writes, check.Write{Table: BankLedgerTable, Op: check.WriteDelete, Key: ids[i]})
+	}
+	if err := b.setAccount(tx, &t, 0, reserve+bal); err != nil {
+		return t, err
+	}
+	n, err := tx.DeleteWhere(b.Accounts, 0, k, nil)
+	if err != nil {
+		return t, err
+	}
+	if n == 0 {
+		return t, fmt.Errorf("%w: account %d read as present but deleted 0 rows", ErrReadYourWrites, k)
+	}
+	t.Writes = append(t.Writes, check.Write{Table: BankAccountsTable, Op: check.WriteDelete, Key: k})
+	return t, nil
+}

@@ -1,0 +1,45 @@
+// Package seedtest is the one place randomized tests get their seeds.
+//
+// Every randomized suite derives its generators from Base, which logs the
+// seed in effect and honours a shared -seed flag, so any seeded failure in
+// CI output comes with the exact command that replays it:
+//
+//	go test -run 'TestName' ./internal/pkg -seed 12345
+//
+// The package imports only the standard library so in-package tests of any
+// layer (core, storage, recovery) can use it without import cycles.
+package seedtest
+
+import (
+	"flag"
+	"testing"
+)
+
+var seedFlag = flag.Int64("seed", 0, "override the base seed of randomized tests (0 = each test's default)")
+
+// Base returns the base seed a randomized test should build its generators
+// from: the -seed flag if set, otherwise def. It logs the seed and the
+// re-run command, so every seeded failure is reproducible from the test
+// output alone.
+func Base(tb testing.TB, def int64) int64 {
+	tb.Helper()
+	seed := def
+	if *seedFlag != 0 {
+		seed = *seedFlag
+	}
+	tb.Logf("seed %d (replay: go test -run '%s' -seed %d)", seed, tb.Name(), seed)
+	return seed
+}
+
+// Derive splits a base seed into the i-th stream seed with a splitmix64
+// step, so workers and iterations get decorrelated generators that are
+// still a pure function of (base, i).
+func Derive(base int64, i int) int64 {
+	x := uint64(base) + uint64(i+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
